@@ -1,0 +1,78 @@
+// Command genax-bench regenerates the tables and figures of the paper's
+// evaluation (§VIII). Each subcommand prints paper-vs-measured rows:
+//
+//	genax-bench fig12     SillaX per-PE area/power vs frequency
+//	genax-bench fig13     traceback re-execution distribution
+//	genax-bench fig14     seed-extension throughput comparison
+//	genax-bench fig15     end-to-end throughput and power
+//	genax-bench fig16     seeding optimization ablations
+//	genax-bench table2    GenAx area breakdown
+//	genax-bench validate  GenAx vs BWA-MEM-like concordance
+//	genax-bench all       everything above
+//
+// Flags: -quick shrinks the workload; -genome/-coverage/-seed resize it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genax/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use a small workload for a fast smoke run")
+	genome := flag.Int("genome", 0, "override synthetic genome length (bases)")
+	coverage := flag.Float64("coverage", 0, "override read coverage")
+	seed := flag.Int64("seed", 0, "override workload RNG seed")
+	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: genax-bench [flags] {fig12|fig13|fig14|fig15|fig16|table2|validate|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec := bench.DefaultWorkload()
+	if *quick {
+		spec = bench.QuickWorkload()
+	}
+	if *genome > 0 {
+		spec.GenomeLen = *genome
+	}
+	if *coverage > 0 {
+		spec.Coverage = *coverage
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	run := map[string]func(){
+		"fig12":    func() { fmt.Println(bench.Fig12()) },
+		"fig13":    func() { fmt.Println(bench.Fig13(spec)) },
+		"fig14":    func() { fmt.Println(bench.Fig14(spec, *pairs)) },
+		"fig15":    func() { fmt.Println(bench.Fig15(spec)) },
+		"fig16":    func() { fmt.Println(bench.Fig16(spec)) },
+		"table2":   func() { fmt.Println(bench.Table2String()) },
+		"validate": func() { fmt.Println(bench.Validate(spec)) },
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, k := range []string{"fig12", "table2", "fig13", "fig14", "fig16", "fig15", "validate"} {
+			fmt.Printf("==== %s ====\n", k)
+			run[k]()
+		}
+		return
+	}
+	f, ok := run[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genax-bench: unknown experiment %q\n", name)
+		flag.Usage()
+		os.Exit(2)
+	}
+	f()
+}

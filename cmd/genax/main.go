@@ -1,0 +1,338 @@
+// Command genax is the read-alignment CLI over the GenAx pipeline model:
+//
+//	genax simulate -genome 200000 -coverage 5 -error 0.02 -out ./data
+//	genax index    -ref ./data/ref.fasta
+//	genax align    -ref ./data/ref.fasta -reads ./data/reads.fastq
+//	genax eval     -aln aln.tsv -truth ./data/truth.tsv
+//
+// align writes SAM-like records (QNAME FLAG RNAME POS MAPQ CIGAR AS:i:score)
+// to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"genax/internal/core"
+	"genax/internal/dna"
+	"genax/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "align":
+		err = cmdAlign(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: genax {simulate|index|align|eval} [flags]")
+	os.Exit(2)
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	genome := fs.Int("genome", 200_000, "reference length (bases)")
+	coverage := fs.Float64("coverage", 5, "read coverage")
+	errRate := fs.Float64("error", 0.02, "per-base sequencing error rate")
+	readLen := fs.Int("readlen", 101, "read length")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wl := sim.NewWorkload(*seed, *genome, sim.DefaultVariantProfile(),
+		sim.ReadProfile{Length: *readLen, Coverage: *coverage, ErrorRate: *errRate, ReverseFraction: 0.5})
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	refPath := filepath.Join(*out, "ref.fasta")
+	f, err := os.Create(refPath)
+	if err != nil {
+		return err
+	}
+	if err := dna.WriteFasta(f, []dna.FastaRecord{{Name: "synthetic", Seq: wl.Ref}}, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	readsPath := filepath.Join(*out, "reads.fastq")
+	g, err := os.Create(readsPath)
+	if err != nil {
+		return err
+	}
+	recs := make([]dna.FastqRecord, len(wl.Reads))
+	truth := make([]string, len(wl.Reads))
+	for i, rd := range wl.Reads {
+		recs[i] = dna.FastqRecord{Name: rd.ID, Seq: rd.Seq}
+		strand := "+"
+		if rd.Reverse {
+			strand = "-"
+		}
+		truth[i] = fmt.Sprintf("%s\t%d\t%s\t%d", rd.ID, rd.TruePos, strand, rd.Errors)
+	}
+	if err := dna.WriteFastq(g, recs); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	truthPath := filepath.Join(*out, "truth.tsv")
+	t, err := os.Create(truthPath)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(t)
+	fmt.Fprintln(bw, "#read\ttrue_pos\tstrand\terrors")
+	for _, line := range truth {
+		fmt.Fprintln(bw, line)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Close()
+		return err
+	}
+	if err := t.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bp), %s (%d reads), %s\n", refPath, len(wl.Ref), readsPath, len(wl.Reads), truthPath)
+	return nil
+}
+
+func loadRef(path string) (dna.Seq, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	recs, err := dna.ReadFasta(f, dna.FastaOptions{ResolveN: rand.New(rand.NewSource(1))})
+	if err != nil {
+		return nil, "", err
+	}
+	// Concatenate contigs; alignment positions are reported against the
+	// concatenation (single synthetic contigs in practice).
+	var ref dna.Seq
+	for _, r := range recs {
+		ref = append(ref, r.Seq...)
+	}
+	return ref, recs[0].Name, nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	refPath := fs.String("ref", "", "reference FASTA")
+	kmer := fs.Int("kmer", 12, "k-mer length")
+	segLen := fs.Int("segment", 1<<20, "segment length (bases)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" {
+		return fmt.Errorf("index: -ref is required")
+	}
+	ref, _, err := loadRef(*refPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.KmerLen = *kmer
+	cfg.SegmentLen = *segLen
+	aligner, err := core.New(ref, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference: %d bp; segments: %d x %d bp (overlap %d); k-mer: %d\n",
+		len(ref), aligner.NumSegments(), cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+	return nil
+}
+
+func cmdAlign(args []string) error {
+	fs := flag.NewFlagSet("align", flag.ExitOnError)
+	refPath := fs.String("ref", "", "reference FASTA")
+	readsPath := fs.String("reads", "", "reads FASTQ")
+	kmer := fs.Int("kmer", 12, "k-mer length")
+	segLen := fs.Int("segment", 1<<20, "segment length (bases)")
+	k := fs.Int("k", 40, "SillaX edit bound")
+	stats := fs.Bool("stats", false, "print pipeline statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" || *readsPath == "" {
+		return fmt.Errorf("align: -ref and -reads are required")
+	}
+	ref, refName, err := loadRef(*refPath)
+	if err != nil {
+		return err
+	}
+	rf, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	recs, err := dna.ReadFastq(rf, dna.FastaOptions{ResolveN: rand.New(rand.NewSource(2))})
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.KmerLen = *kmer
+	cfg.SegmentLen = *segLen
+	cfg.K = *k
+	aligner, err := core.New(ref, cfg)
+	if err != nil {
+		return err
+	}
+	reads := make([]dna.Seq, len(recs))
+	for i, r := range recs {
+		reads[i] = r.Seq
+	}
+	results, st := aligner.AlignBatch(reads)
+	out := bufio.NewWriter(os.Stdout)
+	for i, rr := range results {
+		if !rr.Aligned {
+			fmt.Fprintf(out, "%s\t4\t*\t0\t0\t*\tAS:i:0\n", recs[i].Name)
+			continue
+		}
+		flagv := 0
+		if rr.Result.Reverse {
+			flagv = 16
+		}
+		fmt.Fprintf(out, "%s\t%d\t%s\t%d\t60\t%s\tAS:i:%d\n",
+			recs[i].Name, flagv, refName, rr.Result.RefPos+1, rr.Result.Cigar, rr.Result.Score)
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "reads=%d aligned=%d exact=%d segments=%d extensions=%d extCycles=%d reruns=%d\n",
+			st.Reads, st.Aligned, st.ExactReads, st.Segments, st.Extensions, st.ExtensionCycles, st.ReRuns)
+	}
+	return nil
+}
+
+// cmdEval scores an alignment file produced by `genax align` against the
+// truth table produced by `genax simulate`, reporting the fraction of
+// reads aligned, mapped near their true position, and on the right strand.
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	alnPath := fs.String("aln", "", "alignment file (output of genax align)")
+	truthPath := fs.String("truth", "", "truth table (truth.tsv from genax simulate)")
+	tol := fs.Int("tol", 12, "position tolerance (bases)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *alnPath == "" || *truthPath == "" {
+		return fmt.Errorf("eval: -aln and -truth are required")
+	}
+	truth := map[string]struct {
+		pos    int
+		strand string
+	}{}
+	tf, err := os.Open(*truthPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	sc := bufio.NewScanner(tf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) < 3 {
+			return fmt.Errorf("eval: malformed truth line %q", line)
+		}
+		pos, err := strconv.Atoi(f[1])
+		if err != nil {
+			return fmt.Errorf("eval: bad position in %q: %v", line, err)
+		}
+		truth[f[0]] = struct {
+			pos    int
+			strand string
+		}{pos, f[2]}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	af, err := os.Open(*alnPath)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	total, aligned, near, strandOK := 0, 0, 0, 0
+	as := bufio.NewScanner(af)
+	for as.Scan() {
+		f := strings.Split(as.Text(), "\t")
+		if len(f) < 6 {
+			continue
+		}
+		tr, ok := truth[f[0]]
+		if !ok {
+			continue
+		}
+		total++
+		if f[1] == "4" {
+			continue
+		}
+		aligned++
+		pos, err := strconv.Atoi(f[3])
+		if err != nil {
+			continue
+		}
+		d := pos - 1 - tr.pos
+		if d < 0 {
+			d = -d
+		}
+		if d <= *tol {
+			near++
+		}
+		strand := "+"
+		if f[1] == "16" {
+			strand = "-"
+		}
+		if strand == tr.strand {
+			strandOK++
+		}
+	}
+	if err := as.Err(); err != nil {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("eval: no alignment records matched the truth table")
+	}
+	fmt.Printf("reads evaluated: %d\n", total)
+	fmt.Printf("aligned:         %d (%.2f%%)\n", aligned, 100*float64(aligned)/float64(total))
+	fmt.Printf("within %-3d bp:   %d (%.2f%% of aligned)\n", *tol, near, 100*float64(near)/float64(max(1, aligned)))
+	fmt.Printf("strand correct:  %d (%.2f%% of aligned)\n", strandOK, 100*float64(strandOK)/float64(max(1, aligned)))
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,9 @@
+// Package genax is a from-scratch Go reproduction of "GenAx: A Genome
+// Sequencing Accelerator" (ISCA 2018): the Silla string-independent
+// Levenshtein automaton, the SillaX edit/scoring/traceback machines, the
+// k-mer seeding accelerator, and the software baselines they are evaluated
+// against. The implementation lives under internal/; see README.md for the
+// package map, DESIGN.md for the architecture, and EXPERIMENTS.md for the
+// paper-versus-measured results. The root package exists to host the
+// repository-level benchmark suite (bench_test.go).
+package genax

@@ -1,0 +1,70 @@
+// Longread: the scaling argument of §II-III. Smith-Waterman is O(N²) in
+// the read length while Silla machines are O(N) time with O(K²) state, so
+// long reads (PacBio/Nanopore-style) are where the automaton wins hardest.
+// This example extends reads of growing length under a fixed edit budget
+// and reports wall-clock for the software baselines next to the SillaX
+// architectural cycle count.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+	"genax/internal/sim"
+	"genax/internal/sw"
+)
+
+func mutateFew(r *rand.Rand, s dna.Seq, e int) dna.Seq {
+	out := s.Clone()
+	for i := 0; i < e; i++ {
+		p := r.Intn(len(out))
+		switch r.Intn(3) {
+		case 0:
+			out[p] = dna.Base((int(out[p]) + 1 + r.Intn(3)) % 4)
+		case 1:
+			out = append(out[:p], append(dna.Seq{dna.Base(r.Intn(4))}, out[p:]...)...)
+		default:
+			out = append(out[:p], out[p+1:]...)
+		}
+	}
+	return out
+}
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	const k = 16 // edit budget stays small even as reads grow
+	sc := align.BWAMEMDefaults()
+	full := sw.NewAligner(sc)
+	banded := sw.NewBandedAligner(sc, k)
+	machine := sillax.NewScoringMachine(k, sc)
+
+	fmt.Printf("%-10s %-14s %-14s %-16s %s\n", "read bp", "full SW", "banded SW", "SillaX cycles", "(= µs @2GHz)")
+	for _, n := range []int{100, 500, 1000, 5000, 10000, 20000} {
+		ref := sim.RandomGenome(r, n+k)
+		read := mutateFew(r, ref[:n], 8)
+
+		t0 := time.Now()
+		fullRes := full.Align(ref, read, sw.Extend)
+		fullT := time.Since(t0)
+
+		t0 = time.Now()
+		bandRes := banded.Extend(ref, read)
+		bandT := time.Since(t0)
+
+		mres := machine.Extend(ref, read)
+		if fullRes.Score != bandRes.Score || bandRes.Score != mres.Score {
+			fmt.Printf("  (scores differ: full=%d banded=%d sillax=%d — edit budget exceeded)\n",
+				fullRes.Score, bandRes.Score, mres.Score)
+		}
+		fmt.Printf("%-10d %-14s %-14s %-16d %.1f\n", n, fullT.Round(time.Microsecond),
+			bandT.Round(time.Microsecond), mres.Cycles, float64(mres.Cycles)/2000)
+	}
+	fmt.Println("\nfull SW grows quadratically; banded SW and the SillaX cycle count grow")
+	fmt.Println("linearly — and the SillaX grid stays at 3(K+1)²/2 states regardless of N,")
+	fmt.Println("which is why §III calls it 'particularly attractive for matching long")
+	fmt.Println("strings with limited edit distance'.")
+}

@@ -1,0 +1,110 @@
+// Variants: the downstream consumer the paper's introduction motivates —
+// "the end goal is to determine the variants in the new genome". This
+// example aligns reads with GenAx, piles up the per-base evidence from the
+// traceback CIGARs, calls SNPs, and scores the calls against the
+// simulator's injected ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"genax/internal/core"
+	"genax/internal/dna"
+	"genax/internal/sim"
+)
+
+func main() {
+	wl := sim.NewWorkload(11, 150_000, sim.DefaultVariantProfile(),
+		sim.ReadProfile{Length: 101, Coverage: 12, ErrorRate: 0.01, ReverseFraction: 0.5})
+	cfg := core.DefaultConfig()
+	cfg.SegmentLen = 65_536
+	aligner, err := core.New(wl.Ref, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqs := make([]dna.Seq, len(wl.Reads))
+	for i, rd := range wl.Reads {
+		seqs[i] = rd.Seq
+	}
+	results, stats := aligner.AlignBatch(seqs)
+	fmt.Printf("aligned %d/%d reads over %d segments\n", stats.Aligned, stats.Reads, stats.Segments)
+
+	// Pileup: for every reference position, count the aligned bases.
+	type counts [dna.NumBases]int
+	pile := make([]counts, len(wl.Ref))
+	depth := make([]int, len(wl.Ref))
+	for i, rr := range results {
+		if !rr.Aligned {
+			continue
+		}
+		q := seqs[i]
+		if rr.Result.Reverse {
+			q = q.RevComp()
+		}
+		ri, qi := rr.Result.RefPos, 0
+		for _, run := range rr.Result.Cigar {
+			for j := 0; j < run.Len; j++ {
+				switch run.Op {
+				case '=', 'X':
+					pile[ri][q[qi]]++
+					depth[ri]++
+					ri++
+					qi++
+				case 'I', 'S':
+					qi++
+				case 'D':
+					ri++
+				}
+			}
+		}
+	}
+
+	// Call SNPs: positions where a non-reference base dominates.
+	var calls []int
+	for pos := range pile {
+		if depth[pos] < 6 {
+			continue
+		}
+		best, bestN := dna.Base(0), 0
+		for b := dna.Base(0); b < dna.NumBases; b++ {
+			if pile[pos][b] > bestN {
+				best, bestN = b, pile[pos][b]
+			}
+		}
+		if best != wl.Ref[pos] && bestN*3 >= depth[pos]*2 { // >=2/3 majority
+			calls = append(calls, pos)
+		}
+	}
+	sort.Ints(calls)
+
+	// Ground truth SNP positions from the simulator.
+	truth := map[int]bool{}
+	for _, v := range wl.Donor.Variants {
+		if v.Type == sim.SNP {
+			truth[v.RefPos] = true
+		}
+	}
+	tp := 0
+	for _, p := range calls {
+		if truth[p] {
+			tp++
+		}
+	}
+	fmt.Printf("SNP calls: %d; injected SNPs: %d; true positives: %d\n", len(calls), len(truth), tp)
+	if len(calls) > 0 {
+		fmt.Printf("precision %.1f%%", 100*float64(tp)/float64(len(calls)))
+	}
+	if len(truth) > 0 {
+		fmt.Printf("  recall %.1f%%\n", 100*float64(tp)/float64(len(truth)))
+	}
+	fmt.Println("\nfirst calls:")
+	for i, p := range calls {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  pos %6d ref=%v pile A/C/G/T = %v depth=%d truth=%v\n",
+			p, wl.Ref[p], pile[p], depth[p], truth[p])
+	}
+}

@@ -1,0 +1,3 @@
+module genax
+
+go 1.22

@@ -1,0 +1,229 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genax/internal/dna"
+)
+
+func TestScoringValidate(t *testing.T) {
+	if err := BWAMEMDefaults().Validate(); err != nil {
+		t.Errorf("BWAMEMDefaults invalid: %v", err)
+	}
+	if err := Unit().Validate(); err != nil {
+		t.Errorf("Unit invalid: %v", err)
+	}
+	bad := []Scoring{
+		{Match: 0, Mismatch: 4, GapOpen: 6, GapExtend: 1},
+		{Match: 1, Mismatch: -1, GapOpen: 6, GapExtend: 1},
+		{Match: 1, Mismatch: 4, GapOpen: 6, GapExtend: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scoring %+v accepted", s)
+		}
+	}
+}
+
+func TestGapCost(t *testing.T) {
+	s := BWAMEMDefaults()
+	if got := s.GapCost(0); got != 0 {
+		t.Errorf("GapCost(0) = %d", got)
+	}
+	if got := s.GapCost(1); got != 7 {
+		t.Errorf("GapCost(1) = %d, want 7", got)
+	}
+	if got := s.GapCost(3); got != 9 {
+		t.Errorf("GapCost(3) = %d, want 9", got)
+	}
+}
+
+func TestCigarStringAndParse(t *testing.T) {
+	var c Cigar
+	c = c.Append(OpMatch, 5)
+	c = c.Append(OpMatch, 2) // coalesce
+	c = c.Append(OpMismatch, 1)
+	c = c.Append(OpIns, 2)
+	c = c.Append(OpDel, 1)
+	c = c.Append(OpClip, 3)
+	want := "7=1X2I1D3S"
+	if c.String() != want {
+		t.Fatalf("String = %q, want %q", c, want)
+	}
+	back, err := ParseCigar(want)
+	if err != nil {
+		t.Fatalf("ParseCigar: %v", err)
+	}
+	if back.String() != want {
+		t.Errorf("round trip = %q", back)
+	}
+	if empty, err := ParseCigar("*"); err != nil || len(empty) != 0 {
+		t.Errorf("ParseCigar(*) = %v, %v", empty, err)
+	}
+	for _, bad := range []string{"5", "=", "0=", "5=3", "5Z", "5=x"} {
+		if _, err := ParseCigar(bad); err == nil {
+			t.Errorf("ParseCigar(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCigarAppendZero(t *testing.T) {
+	var c Cigar
+	c = c.Append(OpMatch, 0)
+	c = c.Append(OpMatch, -3)
+	if len(c) != 0 {
+		t.Errorf("zero-length appends produced %v", c)
+	}
+}
+
+func TestCigarLengthsAndEdits(t *testing.T) {
+	c, _ := ParseCigar("2S5=1X2I3D4=")
+	if got := c.QueryLen(); got != 14 {
+		t.Errorf("QueryLen = %d, want 14", got)
+	}
+	if got := c.RefLen(); got != 13 {
+		t.Errorf("RefLen = %d, want 13", got)
+	}
+	if got := c.Edits(); got != 6 {
+		t.Errorf("Edits = %d, want 6", got)
+	}
+	if got := c.Matches(); got != 9 {
+		t.Errorf("Matches = %d, want 9", got)
+	}
+}
+
+func TestCigarScore(t *testing.T) {
+	s := BWAMEMDefaults()
+	c, _ := ParseCigar("10=")
+	if got := c.Score(s); got != 10 {
+		t.Errorf("10= score = %d", got)
+	}
+	c, _ = ParseCigar("5=1X4=")
+	if got := c.Score(s); got != 9-4 {
+		t.Errorf("mismatch score = %d, want 5", got)
+	}
+	c, _ = ParseCigar("5=2I5=")
+	if got := c.Score(s); got != 10-8 {
+		t.Errorf("gap score = %d, want 2", got)
+	}
+	c, _ = ParseCigar("5=3S")
+	if got := c.Score(s); got != 5 {
+		t.Errorf("clip score = %d, want 5", got)
+	}
+	// Two separate gaps pay gap-open twice.
+	c, _ = ParseCigar("2=1D2=1D2=")
+	if got := c.Score(s); got != 6-14 {
+		t.Errorf("two-gap score = %d, want -8", got)
+	}
+}
+
+func TestCigarReverseConcat(t *testing.T) {
+	c, _ := ParseCigar("3=1X2I")
+	r := c.Reverse()
+	if r.String() != "2I1X3=" {
+		t.Errorf("Reverse = %q", r)
+	}
+	a, _ := ParseCigar("3=")
+	b, _ := ParseCigar("2=1X")
+	if got := a.Concat(b).String(); got != "5=1X" {
+		t.Errorf("Concat = %q, want 5=1X", got)
+	}
+}
+
+func TestCigarValidate(t *testing.T) {
+	ref := dna.MustParseSeq("ACGTACGT")
+	query := dna.MustParseSeq("ACGAACGT") // one mismatch at index 3
+	ok, _ := ParseCigar("3=1X4=")
+	if err := ok.Validate(ref, query); err != nil {
+		t.Errorf("valid cigar rejected: %v", err)
+	}
+	badOp, _ := ParseCigar("8=")
+	if err := badOp.Validate(ref, query); err == nil {
+		t.Error("cigar claiming match over a mismatch accepted")
+	}
+	short, _ := ParseCigar("3=1X3=")
+	if err := short.Validate(ref, query); err == nil {
+		t.Error("cigar not consuming full query accepted")
+	}
+	over, _ := ParseCigar("3=1X4=2D")
+	if err := over.Validate(ref, query); err == nil {
+		t.Error("cigar overrunning reference accepted")
+	}
+	// Insertion consumes the query without touching the reference.
+	ins, _ := ParseCigar("3=1I4=")
+	if err := ins.Validate(dna.MustParseSeq("ACGACGT"), query); err != nil {
+		t.Errorf("insertion cigar rejected: %v", err)
+	}
+}
+
+func TestResultBetter(t *testing.T) {
+	a := Result{RefPos: 10, Score: 50}
+	b := Result{RefPos: 5, Score: 40}
+	if !a.Better(b) || b.Better(a) {
+		t.Error("higher score must win")
+	}
+	c := Result{RefPos: 5, Score: 50}
+	if !c.Better(a) {
+		t.Error("tie must break to leftmost position")
+	}
+	d := Result{RefPos: 10, Score: 50, Reverse: true}
+	if !a.Better(d) {
+		t.Error("tie at same pos must break to forward strand")
+	}
+}
+
+func TestResultRefEnd(t *testing.T) {
+	c, _ := ParseCigar("5=2D3=")
+	r := Result{RefPos: 100, Cigar: c}
+	if got := r.RefEnd(); got != 110 {
+		t.Errorf("RefEnd = %d, want 110", got)
+	}
+}
+
+func TestCigarRoundTripProperty(t *testing.T) {
+	ops := []Op{OpMatch, OpMismatch, OpIns, OpDel, OpClip}
+	r := rand.New(rand.NewSource(29))
+	f := func(n uint8) bool {
+		var c Cigar
+		for i := 0; i < int(n)%12; i++ {
+			c = c.Append(ops[r.Intn(len(ops))], 1+r.Intn(9))
+		}
+		back, err := ParseCigar(c.String())
+		return err == nil && back.String() == c.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCigarReverseIsInvolution(t *testing.T) {
+	ops := []Op{OpMatch, OpMismatch, OpIns, OpDel}
+	r := rand.New(rand.NewSource(30))
+	f := func(n uint8) bool {
+		var c Cigar
+		for i := 0; i < int(n)%10; i++ {
+			c = c.Append(ops[r.Intn(len(ops))], 1+r.Intn(5))
+		}
+		return c.Reverse().Reverse().String() == c.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCigarScoreAdditiveUnderConcat(t *testing.T) {
+	// Concat coalesces runs; the score of the concatenation may only
+	// improve (a merged gap run pays one open instead of two).
+	s := BWAMEMDefaults()
+	a, _ := ParseCigar("3=2D")
+	b, _ := ParseCigar("2D3=")
+	joined := a.Concat(b)
+	if joined.String() != "3=4D3=" {
+		t.Fatalf("Concat = %v", joined)
+	}
+	if joined.Score(s) <= a.Score(s)+b.Score(s) {
+		t.Errorf("merged gap must beat two opens: %d vs %d", joined.Score(s), a.Score(s)+b.Score(s))
+	}
+}

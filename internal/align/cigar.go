@@ -1,0 +1,224 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"genax/internal/dna"
+)
+
+// Op is a CIGAR operation. We use the extended SAM alphabet so that the
+// traceback machines can report exact edit traces (=/X instead of M).
+type Op byte
+
+// CIGAR operations. OpIns consumes query only (a base inserted into the
+// read relative to the reference — Silla's "insertion"); OpDel consumes
+// reference only (Silla's "deletion"); OpClip consumes query only and is
+// produced by BWA-MEM-style soft clipping.
+const (
+	OpMatch    Op = '='
+	OpMismatch Op = 'X'
+	OpIns      Op = 'I'
+	OpDel      Op = 'D'
+	OpClip     Op = 'S'
+)
+
+// ConsumesQuery reports whether the op advances the query (read) cursor.
+func (o Op) ConsumesQuery() bool { return o != OpDel }
+
+// ConsumesRef reports whether the op advances the reference cursor.
+func (o Op) ConsumesRef() bool { return o == OpMatch || o == OpMismatch || o == OpDel }
+
+// IsEdit reports whether the op counts toward Levenshtein distance.
+func (o Op) IsEdit() bool { return o == OpMismatch || o == OpIns || o == OpDel }
+
+func (o Op) valid() bool {
+	switch o {
+	case OpMatch, OpMismatch, OpIns, OpDel, OpClip:
+		return true
+	}
+	return false
+}
+
+// Run is a maximal run of one operation.
+type Run struct {
+	Op  Op
+	Len int
+}
+
+// Cigar is an edit trace as a sequence of runs.
+type Cigar []Run
+
+// Append adds n ops of kind o, coalescing with the final run when possible.
+// It returns the extended cigar (append semantics).
+func (c Cigar) Append(o Op, n int) Cigar {
+	if n <= 0 {
+		return c
+	}
+	if len(c) > 0 && c[len(c)-1].Op == o {
+		c[len(c)-1].Len += n
+		return c
+	}
+	return append(c, Run{o, n})
+}
+
+// String renders the cigar in SAM-like run-length form, e.g. "5=1X3=2I".
+func (c Cigar) String() string {
+	if len(c) == 0 {
+		return "*"
+	}
+	var sb strings.Builder
+	for _, r := range c {
+		fmt.Fprintf(&sb, "%d%c", r.Len, r.Op)
+	}
+	return sb.String()
+}
+
+// ParseCigar parses the output of String. "*" parses to an empty cigar.
+func ParseCigar(s string) (Cigar, error) {
+	if s == "*" {
+		return nil, nil
+	}
+	var c Cigar
+	n := 0
+	sawDigit := false
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch >= '0' && ch <= '9' {
+			n = n*10 + int(ch-'0')
+			sawDigit = true
+			continue
+		}
+		op := Op(ch)
+		if !op.valid() || !sawDigit || n == 0 {
+			return nil, fmt.Errorf("align: invalid cigar %q at byte %d", s, i)
+		}
+		c = append(c, Run{op, n})
+		n, sawDigit = 0, false
+	}
+	if sawDigit {
+		return nil, fmt.Errorf("align: cigar %q ends mid-run", s)
+	}
+	return c, nil
+}
+
+// QueryLen returns how many query bases the cigar consumes.
+func (c Cigar) QueryLen() int {
+	n := 0
+	for _, r := range c {
+		if r.Op.ConsumesQuery() {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// RefLen returns how many reference bases the cigar consumes.
+func (c Cigar) RefLen() int {
+	n := 0
+	for _, r := range c {
+		if r.Op.ConsumesRef() {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// Edits returns the Levenshtein weight of the trace (substitutions plus
+// inserted plus deleted bases; clips do not count).
+func (c Cigar) Edits() int {
+	n := 0
+	for _, r := range c {
+		if r.Op.IsEdit() {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// Matches returns the number of matching bases.
+func (c Cigar) Matches() int {
+	n := 0
+	for _, r := range c {
+		if r.Op == OpMatch {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// Score evaluates the trace under the affine scheme s. Clipped bases score
+// zero, matching BWA-MEM soft-clip semantics.
+func (c Cigar) Score(s Scoring) int {
+	score := 0
+	for _, r := range c {
+		switch r.Op {
+		case OpMatch:
+			score += r.Len * s.Match
+		case OpMismatch:
+			score -= r.Len * s.Mismatch
+		case OpIns, OpDel:
+			score -= s.GapCost(r.Len)
+		}
+	}
+	return score
+}
+
+// Reverse returns the run-reversed cigar (used when stitching a left
+// extension computed on reversed strings onto a right extension).
+func (c Cigar) Reverse() Cigar {
+	out := make(Cigar, 0, len(c))
+	for i := len(c) - 1; i >= 0; i-- {
+		out = out.Append(c[i].Op, c[i].Len)
+	}
+	return out
+}
+
+// Concat appends another cigar, coalescing at the seam.
+func (c Cigar) Concat(d Cigar) Cigar {
+	for _, r := range d {
+		c = c.Append(r.Op, r.Len)
+	}
+	return c
+}
+
+// Validate checks the trace against the actual sequences: every '=' run
+// must cover equal bases, every 'X' run differing bases, and the trace must
+// consume exactly the query and exactly ref[0:RefLen]. This is the master
+// invariant used by the traceback tests.
+func (c Cigar) Validate(ref, query dna.Seq) error {
+	ri, qi := 0, 0
+	for runIdx, r := range c {
+		if !r.Op.valid() || r.Len <= 0 {
+			return fmt.Errorf("align: run %d invalid: %d%c", runIdx, r.Len, r.Op)
+		}
+		for k := 0; k < r.Len; k++ {
+			switch r.Op {
+			case OpMatch, OpMismatch:
+				if ri >= len(ref) || qi >= len(query) {
+					return fmt.Errorf("align: run %d overruns sequences (ref %d/%d, query %d/%d)", runIdx, ri, len(ref), qi, len(query))
+				}
+				eq := ref[ri] == query[qi]
+				if eq != (r.Op == OpMatch) {
+					return fmt.Errorf("align: run %d op %c contradicts bases ref[%d]=%v query[%d]=%v", runIdx, r.Op, ri, ref[ri], qi, query[qi])
+				}
+				ri++
+				qi++
+			case OpIns, OpClip:
+				if qi >= len(query) {
+					return fmt.Errorf("align: run %d overruns query", runIdx)
+				}
+				qi++
+			case OpDel:
+				if ri >= len(ref) {
+					return fmt.Errorf("align: run %d overruns reference", runIdx)
+				}
+				ri++
+			}
+		}
+	}
+	if qi != len(query) {
+		return fmt.Errorf("align: cigar consumes %d of %d query bases", qi, len(query))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package align
+
+import "fmt"
+
+// Result is a completed alignment of a query (read) against a reference.
+type Result struct {
+	// RefPos is the 0-based position on the reference where the aligned
+	// portion begins.
+	RefPos int
+	// Score is the affine-gap score of the alignment.
+	Score int
+	// Cigar is the edit trace, query-complete (including clips).
+	Cigar Cigar
+	// Reverse reports that the read aligned on the reverse-complement
+	// strand.
+	Reverse bool
+}
+
+// RefEnd returns the 0-based position one past the last reference base
+// covered by the alignment.
+func (r Result) RefEnd() int { return r.RefPos + r.Cigar.RefLen() }
+
+// Edits returns the Levenshtein weight of the trace.
+func (r Result) Edits() int { return r.Cigar.Edits() }
+
+// String renders a compact human-readable summary.
+func (r Result) String() string {
+	strand := "+"
+	if r.Reverse {
+		strand = "-"
+	}
+	return fmt.Sprintf("pos=%d strand=%s score=%d cigar=%s", r.RefPos, strand, r.Score, r.Cigar)
+}
+
+// Better reports whether r beats other under BWA-MEM's selection rule:
+// higher score wins; ties break toward the leftmost reference position so
+// that results are deterministic.
+func (r Result) Better(other Result) bool {
+	if r.Score != other.Score {
+		return r.Score > other.Score
+	}
+	if r.RefPos != other.RefPos {
+		return r.RefPos < other.RefPos
+	}
+	return !r.Reverse && other.Reverse
+}

@@ -1,0 +1,51 @@
+// Package align defines the shared alignment vocabulary: affine-gap scoring
+// parameters, CIGAR strings, and alignment results. Both the hardware models
+// (sillax) and the software baselines (sw, bwamem) speak these types, which
+// is what makes the concordance experiments of §VIII-A possible.
+package align
+
+import "fmt"
+
+// Scoring holds affine-gap scoring parameters. Penalties are stored as
+// non-negative magnitudes; a gap of length L costs GapOpen + L*GapExtend
+// (the paper's G = g_open + g_extend * id from §IV-B).
+type Scoring struct {
+	Match     int // reward per matching base (> 0)
+	Mismatch  int // penalty per substitution (>= 0)
+	GapOpen   int // one-time penalty per indel run (>= 0)
+	GapExtend int // penalty per inserted/deleted base (>= 0)
+}
+
+// BWAMEMDefaults returns the BWA-MEM default scoring scheme used throughout
+// the paper's evaluation: +1 match, -4 mismatch, -6 gap open, -1 gap extend.
+func BWAMEMDefaults() Scoring {
+	return Scoring{Match: 1, Mismatch: 4, GapOpen: 6, GapExtend: 1}
+}
+
+// Unit returns edit-distance scoring (0 match, -1 for every edit, no gap
+// open), under which the scoring machine degenerates into the edit machine.
+func Unit() Scoring {
+	return Scoring{Match: 0, Mismatch: 1, GapOpen: 0, GapExtend: 1}
+}
+
+// Validate checks the parameters for internal consistency.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 && s != Unit() {
+		return fmt.Errorf("align: match reward must be positive, got %d", s.Match)
+	}
+	if s.Mismatch < 0 || s.GapOpen < 0 || s.GapExtend < 0 {
+		return fmt.Errorf("align: penalties must be non-negative magnitudes: %+v", s)
+	}
+	if s.GapExtend == 0 {
+		return fmt.Errorf("align: gap extend penalty must be positive, got 0")
+	}
+	return nil
+}
+
+// GapCost returns the cost (a non-negative magnitude) of a gap of length l.
+func (s Scoring) GapCost(l int) int {
+	if l <= 0 {
+		return 0
+	}
+	return s.GapOpen + l*s.GapExtend
+}

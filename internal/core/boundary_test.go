@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"genax/internal/dna"
+	"genax/internal/sim"
+)
+
+// TestSegmentBoundaryReads pins the §V/§VI segmentation guarantee: reads
+// drawn across segment boundaries must still align, because the overlap
+// places every read-length window wholly inside some segment.
+func TestSegmentBoundaryReads(t *testing.T) {
+	wl := sim.NewWorkload(310, 40000, sim.VariantProfile{}, sim.ReadProfile{Length: 101, Coverage: 0})
+	cfg := smallConfig() // SegmentLen 8192, Overlap 256
+	a, err := New(wl.Ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads straddling every internal boundary at several offsets.
+	var reads []dna.Seq
+	var truePos []int
+	for b := cfg.SegmentLen; b < len(wl.Ref); b += cfg.SegmentLen {
+		for _, off := range []int{-100, -50, -1, 0, 1, 50} {
+			p := b + off - 50
+			if p < 0 || p+101 > len(wl.Ref) {
+				continue
+			}
+			reads = append(reads, wl.Ref[p:p+101].Clone())
+			truePos = append(truePos, p)
+		}
+	}
+	if len(reads) == 0 {
+		t.Fatal("no boundary reads constructed")
+	}
+	results, _ := a.AlignBatch(reads)
+	for i, rr := range results {
+		if !rr.Aligned {
+			t.Fatalf("boundary read %d (pos %d) unaligned", i, truePos[i])
+		}
+		if rr.Result.Score != 101 {
+			t.Errorf("boundary read %d score %d, want 101", i, rr.Result.Score)
+		}
+		if rr.Result.RefPos != truePos[i] {
+			t.Errorf("boundary read %d mapped to %d, want %d", i, rr.Result.RefPos, truePos[i])
+		}
+	}
+}
+
+// TestReadAtReferenceEnds exercises clamping at position 0 and len(ref).
+func TestReadAtReferenceEnds(t *testing.T) {
+	wl := sim.NewWorkload(311, 20000, sim.VariantProfile{}, sim.ReadProfile{Length: 101, Coverage: 0})
+	a, err := New(wl.Ref, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := wl.Ref[:101].Clone()
+	last := wl.Ref[len(wl.Ref)-101:].Clone()
+	results, _ := a.AlignBatch([]dna.Seq{first, last})
+	if !results[0].Aligned || results[0].Result.RefPos != 0 {
+		t.Errorf("first-window read: %+v", results[0])
+	}
+	if !results[1].Aligned || results[1].Result.RefPos != len(wl.Ref)-101 {
+		t.Errorf("last-window read: %+v", results[1])
+	}
+}
+
+// TestMutatedBoundaryRead forces extension (not the exact fast path)
+// across a boundary.
+func TestMutatedBoundaryRead(t *testing.T) {
+	wl := sim.NewWorkload(312, 40000, sim.VariantProfile{}, sim.ReadProfile{Length: 101, Coverage: 0})
+	cfg := smallConfig()
+	a, err := New(wl.Ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.SegmentLen - 50
+	read := wl.Ref[p : p+101].Clone()
+	read[10] = read[10] ^ 1
+	read[80] = read[80] ^ 2
+	results, stats := a.AlignBatch([]dna.Seq{read})
+	if !results[0].Aligned {
+		t.Fatal("mutated boundary read unaligned")
+	}
+	if stats.ExactReads != 0 {
+		t.Error("mutated read took the exact path")
+	}
+	if got := results[0].Result.RefPos; got != p {
+		t.Errorf("mapped to %d, want %d", got, p)
+	}
+	if results[0].Result.Score != 101-2-2*4 {
+		t.Errorf("score %d, want 93", results[0].Result.Score)
+	}
+}

@@ -1,0 +1,299 @@
+// Package core is the GenAx top level (§VI): it couples the seeding lanes
+// (package seed) to the SillaX extension lanes (package sillax via package
+// extend) and runs reads through the reference segment by segment, exactly
+// like the chip streams per-segment tables into SRAM and drains the hit
+// buffers through four traceback machines.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/extend"
+	"genax/internal/hw"
+	"genax/internal/seed"
+	"genax/internal/sillax"
+)
+
+// Config parametrizes a GenAx instance.
+type Config struct {
+	// K is the SillaX edit bound (40 in the paper).
+	K int
+	// Scoring is the extension scheme (BWA-MEM defaults).
+	Scoring align.Scoring
+	// KmerLen is the index k-mer size (12 in the paper; smaller values
+	// keep laptop-scale index tables dense).
+	KmerLen int
+	// SegmentLen cuts the reference for per-segment tables; Overlap must
+	// cover readLen+K so no alignment straddles a boundary unseen.
+	SegmentLen, Overlap int
+	// Seeding carries the §V optimization switches.
+	Seeding seed.Options
+	// MinScore suppresses alignments below the BWA-MEM reporting floor.
+	MinScore int
+	// Workers bounds goroutines in AlignBatch (0 = GOMAXPROCS); it
+	// models the 128 seeding / 4 SillaX lanes only in the statistics,
+	// not in scheduling.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper, scaled to a laptop-sized reference.
+func DefaultConfig() Config {
+	return Config{
+		K:          40,
+		Scoring:    align.BWAMEMDefaults(),
+		KmerLen:    12,
+		SegmentLen: 1 << 20,
+		Overlap:    256,
+		Seeding:    seed.DefaultOptions(),
+		MinScore:   30,
+	}
+}
+
+// Stats aggregates pipeline work counters (the measured coefficients the
+// hw throughput model consumes).
+type Stats struct {
+	Reads, Aligned, ExactReads int
+	Segments                   int
+	IndexLookups, CAMLookups   int64
+	SeedsEmitted, HitsEmitted  int64
+	Extensions                 int64
+	ExtensionCycles            int64
+	ReRuns                     int64
+}
+
+// ReadResult is the outcome for one read in a batch.
+type ReadResult struct {
+	Result  align.Result
+	Aligned bool
+}
+
+// Aligner is a GenAx instance bound to one reference.
+type Aligner struct {
+	cfg   Config
+	ref   dna.Seq
+	index *seed.SegmentedIndex
+}
+
+// New builds the per-segment tables for ref.
+func New(ref dna.Seq, cfg Config) (*Aligner, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: edit bound %d must be positive", cfg.K)
+	}
+	if cfg.SegmentLen < cfg.Overlap {
+		return nil, fmt.Errorf("core: segment length %d below overlap %d", cfg.SegmentLen, cfg.Overlap)
+	}
+	idx, err := seed.BuildSegmentedIndex(ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{cfg: cfg, ref: ref, index: idx}, nil
+}
+
+// Config returns the configuration.
+func (a *Aligner) Config() Config { return a.cfg }
+
+// Ref returns the reference.
+func (a *Aligner) Ref() dna.Seq { return a.ref }
+
+// NumSegments returns the segment count.
+func (a *Aligner) NumSegments() int { return a.index.NumSegments() }
+
+// countingEngine wraps a SillaX lane, accumulating cycle and re-run
+// counters across extensions.
+type countingEngine struct {
+	m      *sillax.TracebackMachine
+	cycles *int64
+	reruns *int64
+}
+
+func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
+	res := e.m.Extend(ref, query)
+	*e.cycles += int64(res.Cycles)
+	*e.reruns += int64(res.ReRuns)
+	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+}
+
+// lane is the per-worker state: one seeding lane per segment plus one
+// SillaX lane.
+type lane struct {
+	a       *Aligner
+	eng     countingEngine
+	stats   Stats
+	anchors map[int64]struct{}
+	// trace, when non-nil, collects per-(read,segment) lane work items
+	// for the Fig 11 scheduling simulation.
+	trace *[]hw.LaneWork
+}
+
+func (a *Aligner) newLane() *lane {
+	l := &lane{a: a, anchors: make(map[int64]struct{})}
+	l.eng = countingEngine{
+		m:      sillax.NewTracebackMachine(a.cfg.K, a.cfg.Scoring),
+		cycles: &l.stats.ExtensionCycles,
+		reruns: &l.stats.ReRuns,
+	}
+	return l
+}
+
+// alignInSegment seeds and extends one oriented read against one segment,
+// merging candidates into best. It reports whether the read took the
+// exact-match fast path in this segment.
+func (l *lane) alignInSegment(sd *seed.Seeder, q dna.Seq, reverse bool, best *ReadResult) bool {
+	before := sd.Stats
+	seeds := sd.Seed(q)
+	after := sd.Stats
+	l.stats.IndexLookups += int64(after.IndexLookups - before.IndexLookups)
+	l.stats.CAMLookups += int64(after.CAMLookups - before.CAMLookups)
+	l.stats.SeedsEmitted += int64(after.SeedsEmitted - before.SeedsEmitted)
+	l.stats.HitsEmitted += int64(after.HitsEmitted - before.HitsEmitted)
+	exact := after.ExactReads > before.ExactReads
+	var workItem hw.LaneWork
+	if l.trace != nil {
+		workItem.SeedOps = int64(after.IndexLookups-before.IndexLookups) +
+			int64(after.CAMLookups-before.CAMLookups)
+	}
+	clear(l.anchors)
+	for _, s := range seeds {
+		if exact {
+			// Whole-read exact match: no extension needed (§V).
+			for _, h := range s.Positions {
+				res := align.Result{
+					RefPos:  int(h),
+					Score:   len(q) * l.a.cfg.Scoring.Match,
+					Reverse: reverse,
+				}
+				res.Cigar = res.Cigar.Append(align.OpMatch, len(q))
+				if !best.Aligned || res.Better(best.Result) {
+					best.Result, best.Aligned = res, true
+				}
+			}
+			continue
+		}
+		for _, h := range s.Positions {
+			key := int64(int(h)-s.Start)<<1 | boolBit(reverse)
+			if _, dup := l.anchors[key]; dup {
+				continue
+			}
+			l.anchors[key] = struct{}{}
+			cyclesBefore := l.stats.ExtensionCycles
+			res := extend.AlignAt(l.eng, l.a.cfg.Scoring, l.a.ref, q, s.Start, s.End, int(h), l.a.cfg.K)
+			res.Reverse = reverse
+			l.stats.Extensions++
+			if l.trace != nil {
+				workItem.ExtJobs = append(workItem.ExtJobs, l.stats.ExtensionCycles-cyclesBefore)
+			}
+			if !best.Aligned || res.Better(best.Result) {
+				best.Result, best.Aligned = res, true
+			}
+		}
+	}
+	if l.trace != nil {
+		*l.trace = append(*l.trace, workItem)
+	}
+	return exact
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// AlignBatch maps all reads, processing the reference segment-major like
+// the chip: for each segment, every read is seeded against that segment's
+// tables and surviving hits are extended, keeping each read's best
+// alignment across segments. Work is sharded over Workers goroutines.
+func (a *Aligner) AlignBatch(reads []dna.Seq) ([]ReadResult, Stats) {
+	res, stats, _ := a.alignBatch(reads, false)
+	return res, stats
+}
+
+// AlignBatchTraced is AlignBatch plus the per-(read,segment) work items
+// consumed by hw.SimulateLanes (the Fig 11 lane-scheduling model).
+func (a *Aligner) AlignBatchTraced(reads []dna.Seq) ([]ReadResult, Stats, []hw.LaneWork) {
+	return a.alignBatch(reads, true)
+}
+
+func (a *Aligner) alignBatch(reads []dna.Seq, traceWork bool) ([]ReadResult, Stats, []hw.LaneWork) {
+	workers := a.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reads) && len(reads) > 0 {
+		workers = len(reads)
+	}
+	results := make([]ReadResult, len(reads))
+	exactFlags := make([]bool, len(reads))
+	revs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		revs[i] = r.RevComp()
+	}
+	var total Stats
+	total.Reads = len(reads)
+	total.Segments = a.index.NumSegments()
+	var allWork []hw.LaneWork
+	var mu sync.Mutex
+
+	for _, si := range a.index.Samples {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				l := a.newLane()
+				var localTrace []hw.LaneWork
+				if traceWork {
+					l.trace = &localTrace
+				}
+				sd := seed.NewSeeder(si, a.cfg.Seeding)
+				for i := w; i < len(reads); i += workers {
+					if l.alignInSegment(sd, reads[i], false, &results[i]) {
+						exactFlags[i] = true
+					}
+					if l.alignInSegment(sd, revs[i], true, &results[i]) {
+						exactFlags[i] = true
+					}
+				}
+				mu.Lock()
+				if traceWork {
+					allWork = append(allWork, localTrace...)
+				}
+				total.IndexLookups += l.stats.IndexLookups
+				total.CAMLookups += l.stats.CAMLookups
+				total.SeedsEmitted += l.stats.SeedsEmitted
+				total.HitsEmitted += l.stats.HitsEmitted
+				total.Extensions += l.stats.Extensions
+				total.ExtensionCycles += l.stats.ExtensionCycles
+				total.ReRuns += l.stats.ReRuns
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+	}
+	for i := range results {
+		if results[i].Aligned && results[i].Result.Score < a.cfg.MinScore {
+			results[i] = ReadResult{}
+		}
+		if results[i].Aligned {
+			total.Aligned++
+		}
+		if exactFlags[i] {
+			total.ExactReads++
+		}
+	}
+	return results, total, allWork
+}
+
+// AlignRead maps a single read (both strands, all segments).
+func (a *Aligner) AlignRead(read dna.Seq) (align.Result, bool) {
+	res, _ := a.AlignBatch([]dna.Seq{read})
+	if !res[0].Aligned {
+		return align.Result{}, false
+	}
+	return res[0].Result, true
+}

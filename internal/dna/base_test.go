@@ -1,0 +1,133 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseCharRoundTrip(t *testing.T) {
+	for b := Base(0); b < NumBases; b++ {
+		got, ok := BaseFromChar(b.Char())
+		if !ok || got != b {
+			t.Errorf("BaseFromChar(%q) = %v, %v; want %v, true", b.Char(), got, ok, b)
+		}
+		lower := b.Char() + 'a' - 'A'
+		got, ok = BaseFromChar(lower)
+		if !ok || got != b {
+			t.Errorf("BaseFromChar(%q) = %v, %v; want %v, true", lower, got, ok, b)
+		}
+	}
+}
+
+func TestBaseFromCharInvalid(t *testing.T) {
+	for _, c := range []byte{'N', 'n', 'X', '-', ' ', 0, 255} {
+		if _, ok := BaseFromChar(c); ok {
+			t.Errorf("BaseFromChar(%q) accepted an invalid base", c)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, C: G, G: C, T: A}
+	for b, want := range pairs {
+		if got := b.Complement(); got != want {
+			t.Errorf("%v.Complement() = %v, want %v", b, got, want)
+		}
+		if got := b.Complement().Complement(); got != b {
+			t.Errorf("double complement of %v = %v", b, got)
+		}
+	}
+}
+
+func TestParseSeq(t *testing.T) {
+	s, err := ParseSeq("ACGTacgt")
+	if err != nil {
+		t.Fatalf("ParseSeq: %v", err)
+	}
+	want := Seq{A, C, G, T, A, C, G, T}
+	if !s.Equal(want) {
+		t.Errorf("ParseSeq = %v, want %v", s, want)
+	}
+	if s.String() != "ACGTACGT" {
+		t.Errorf("String() = %q", s.String())
+	}
+	if _, err := ParseSeq("ACNT"); err == nil {
+		t.Error("ParseSeq accepted 'N'")
+	}
+}
+
+func TestRevComp(t *testing.T) {
+	s := MustParseSeq("AACGT")
+	rc := s.RevComp()
+	if rc.String() != "ACGTT" {
+		t.Errorf("RevComp = %v, want ACGTT", rc)
+	}
+	if !rc.RevComp().Equal(s) {
+		t.Errorf("double RevComp = %v, want %v", rc.RevComp(), s)
+	}
+}
+
+func TestRevCompEmptyAndSingle(t *testing.T) {
+	if got := (Seq{}).RevComp(); len(got) != 0 {
+		t.Errorf("RevComp of empty = %v", got)
+	}
+	if got := (Seq{G}).RevComp(); !got.Equal(Seq{C}) {
+		t.Errorf("RevComp of G = %v, want C", got)
+	}
+}
+
+func TestSeqClone(t *testing.T) {
+	s := MustParseSeq("ACGT")
+	c := s.Clone()
+	c[0] = T
+	if s[0] != A {
+		t.Error("Clone aliases the original")
+	}
+}
+
+// RandSeq builds a random sequence of length n; it is exported to sibling
+// test files in this package only via this helper.
+func randSeq(r *rand.Rand, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = Base(r.Intn(NumBases))
+	}
+	return s
+}
+
+func TestRevCompInvolutionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		s := randSeq(r, int(n)%200)
+		return s.RevComp().RevComp().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(n uint8) bool {
+		s := randSeq(r, int(n))
+		back, err := ParseSeq(s.String())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	s := MustParseSeq("AACGT")
+	if got := s.Reverse().String(); got != "TGCAA" {
+		t.Errorf("Reverse = %q, want TGCAA", got)
+	}
+	if got := (Seq{}).Reverse(); len(got) != 0 {
+		t.Errorf("Reverse of empty = %v", got)
+	}
+	if !s.Reverse().Reverse().Equal(s) {
+		t.Error("double Reverse is not identity")
+	}
+}

@@ -1,0 +1,63 @@
+package dna
+
+import "fmt"
+
+// Kmer is a k-mer encoded as an integer: base j of the k-mer occupies bits
+// 2*(k-1-j) .. 2*(k-1-j)+1, i.e. the first base is the most significant
+// pair, so integer order equals lexicographic order. This is the key format
+// of the GenAx index table (k = 12 in the paper, 4^12 = 16.7M entries).
+type Kmer uint64
+
+// MaxK is the largest supported k (2 bits per base in a uint64).
+const MaxK = 31
+
+// KmerCodec encodes and decodes k-mers for a fixed k.
+type KmerCodec struct {
+	k    int
+	mask Kmer
+}
+
+// NewKmerCodec returns a codec for k-mers of length k (1 <= k <= MaxK).
+func NewKmerCodec(k int) (*KmerCodec, error) {
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("dna: k-mer length %d out of range [1,%d]", k, MaxK)
+	}
+	return &KmerCodec{k: k, mask: Kmer(1)<<(2*uint(k)) - 1}, nil
+}
+
+// K returns the k-mer length.
+func (c *KmerCodec) K() int { return c.k }
+
+// NumKmers returns 4^k, the number of distinct k-mers (index table size).
+func (c *KmerCodec) NumKmers() int { return 1 << (2 * uint(c.k)) }
+
+// Encode encodes s[pos:pos+k]. It reports ok=false when the window does not
+// fit inside s.
+func (c *KmerCodec) Encode(s Seq, pos int) (Kmer, bool) {
+	if pos < 0 || pos+c.k > len(s) {
+		return 0, false
+	}
+	var km Kmer
+	for _, b := range s[pos : pos+c.k] {
+		km = km<<2 | Kmer(b&3)
+	}
+	return km, true
+}
+
+// Decode expands a k-mer back into a sequence.
+func (c *KmerCodec) Decode(km Kmer) Seq {
+	out := make(Seq, c.k)
+	for j := c.k - 1; j >= 0; j-- {
+		out[j] = Base(km & 3)
+		km >>= 2
+	}
+	return out
+}
+
+// Roll extends a previous encoding by one base to the right: given the
+// k-mer for s[pos:pos+k], it returns the k-mer for s[pos+1:pos+1+k] when
+// next is s[pos+k]. This is the rolling form used when scanning a segment
+// to build the index table in a single pass.
+func (c *KmerCodec) Roll(prev Kmer, next Base) Kmer {
+	return (prev<<2 | Kmer(next&3)) & c.mask
+}

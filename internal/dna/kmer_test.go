@@ -1,0 +1,96 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKmerCodecBounds(t *testing.T) {
+	if _, err := NewKmerCodec(0); err == nil {
+		t.Error("NewKmerCodec(0) succeeded")
+	}
+	if _, err := NewKmerCodec(MaxK + 1); err == nil {
+		t.Error("NewKmerCodec(MaxK+1) succeeded")
+	}
+	c, err := NewKmerCodec(MaxK)
+	if err != nil {
+		t.Fatalf("NewKmerCodec(MaxK): %v", err)
+	}
+	if c.K() != MaxK {
+		t.Errorf("K() = %d", c.K())
+	}
+}
+
+func TestKmerEncodeDecode(t *testing.T) {
+	c, _ := NewKmerCodec(3)
+	s := MustParseSeq("ACGTT")
+	km, ok := c.Encode(s, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	// ACG = 0b00_01_10 = 6
+	if km != 6 {
+		t.Errorf("Encode(ACG) = %d, want 6", km)
+	}
+	if got := c.Decode(km).String(); got != "ACG" {
+		t.Errorf("Decode = %q, want ACG", got)
+	}
+	if _, ok := c.Encode(s, 2); !ok {
+		t.Error("Encode at pos 2 of len-5 seq with k=3 should fit")
+	}
+	if _, ok := c.Encode(s, 3); ok {
+		t.Error("Encode past the end succeeded")
+	}
+	if _, ok := c.Encode(s, -1); ok {
+		t.Error("Encode at negative pos succeeded")
+	}
+}
+
+func TestKmerLexicographicOrder(t *testing.T) {
+	c, _ := NewKmerCodec(2)
+	prev := Kmer(0)
+	first := true
+	for _, s1 := range []string{"A", "C", "G", "T"} {
+		for _, s2 := range []string{"A", "C", "G", "T"} {
+			km, _ := c.Encode(MustParseSeq(s1+s2), 0)
+			if !first && km != prev+1 {
+				t.Errorf("k-mer %s%s = %d, want %d (integer order must be lexicographic)", s1, s2, km, prev+1)
+			}
+			prev, first = km, false
+		}
+	}
+	if c.NumKmers() != 16 {
+		t.Errorf("NumKmers = %d, want 16", c.NumKmers())
+	}
+}
+
+func TestKmerRollMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, k := range []int{1, 2, 5, 12, 31} {
+		c, _ := NewKmerCodec(k)
+		s := randSeq(r, k+50)
+		km, ok := c.Encode(s, 0)
+		if !ok {
+			t.Fatalf("k=%d: initial Encode failed", k)
+		}
+		for pos := 1; pos+k <= len(s); pos++ {
+			km = c.Roll(km, s[pos+k-1])
+			want, _ := c.Encode(s, pos)
+			if km != want {
+				t.Fatalf("k=%d pos=%d: Roll = %d, Encode = %d", k, pos, km, want)
+			}
+		}
+	}
+}
+
+func TestKmerDecodeEncodeRoundTrip(t *testing.T) {
+	c, _ := NewKmerCodec(8)
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		km := Kmer(r.Intn(c.NumKmers()))
+		back, ok := c.Encode(c.Decode(km), 0)
+		if !ok || back != km {
+			t.Fatalf("round trip of %d gave %d (ok=%v)", km, back, ok)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package dna
+
+import "fmt"
+
+// Packed is a 2-bit-per-base packed DNA sequence, the representation GenAx
+// streams into the on-chip reference cache (a 6 Mbp segment fits in 1.5 MB).
+// Base i occupies bits (2*(i%32)) .. (2*(i%32)+1) of word i/32.
+type Packed struct {
+	words []uint64
+	n     int
+}
+
+// PackSeq packs an unpacked sequence.
+func PackSeq(s Seq) *Packed {
+	p := &Packed{words: make([]uint64, (len(s)+31)/32), n: len(s)}
+	for i, b := range s {
+		p.words[i>>5] |= uint64(b&3) << uint((i&31)*2)
+	}
+	return p
+}
+
+// Len returns the number of bases.
+func (p *Packed) Len() int { return p.n }
+
+// At returns base i. It panics if i is out of range, matching slice
+// indexing semantics.
+func (p *Packed) At(i int) Base {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("dna: packed index %d out of range [0,%d)", i, p.n))
+	}
+	return Base(p.words[i>>5] >> uint((i&31)*2) & 3)
+}
+
+// Slice unpacks the half-open interval [lo, hi) into a fresh Seq.
+// The bounds are clamped to the sequence, so callers can ask for a window
+// that runs off either end (as seed extension does near segment borders).
+func (p *Packed) Slice(lo, hi int) Seq {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > p.n {
+		hi = p.n
+	}
+	if lo >= hi {
+		return Seq{}
+	}
+	out := make(Seq, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i-lo] = Base(p.words[i>>5] >> uint((i&31)*2) & 3)
+	}
+	return out
+}
+
+// Unpack returns the whole sequence as a Seq.
+func (p *Packed) Unpack() Seq { return p.Slice(0, p.n) }
+
+// SizeBytes returns the in-memory footprint of the packed payload, used by
+// the hardware model to size the on-chip reference cache.
+func (p *Packed) SizeBytes() int { return len(p.words) * 8 }

@@ -1,0 +1,83 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 31, 32, 33, 63, 64, 65, 1000} {
+		s := randSeq(r, n)
+		p := PackSeq(s)
+		if p.Len() != n {
+			t.Fatalf("Len = %d, want %d", p.Len(), n)
+		}
+		if !p.Unpack().Equal(s) {
+			t.Fatalf("n=%d: Unpack mismatch", n)
+		}
+		for i := 0; i < n; i++ {
+			if p.At(i) != s[i] {
+				t.Fatalf("n=%d: At(%d) = %v, want %v", n, i, p.At(i), s[i])
+			}
+		}
+	}
+}
+
+func TestPackedSliceClamping(t *testing.T) {
+	s := MustParseSeq("ACGTACGT")
+	p := PackSeq(s)
+	cases := []struct {
+		lo, hi int
+		want   string
+	}{
+		{0, 8, "ACGTACGT"},
+		{2, 5, "GTA"},
+		{-5, 3, "ACG"},
+		{6, 100, "GT"},
+		{5, 5, ""},
+		{7, 2, ""},
+		{-10, -5, ""},
+	}
+	for _, c := range cases {
+		got := p.Slice(c.lo, c.hi).String()
+		if got != c.want {
+			t.Errorf("Slice(%d,%d) = %q, want %q", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestPackedAtPanics(t *testing.T) {
+	p := PackSeq(MustParseSeq("ACGT"))
+	for _, i := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			p.At(i)
+		}()
+	}
+}
+
+func TestPackedSizeBytes(t *testing.T) {
+	if got := PackSeq(make(Seq, 64)).SizeBytes(); got != 16 {
+		t.Errorf("SizeBytes(64 bases) = %d, want 16", got)
+	}
+	if got := PackSeq(make(Seq, 65)).SizeBytes(); got != 24 {
+		t.Errorf("SizeBytes(65 bases) = %d, want 24", got)
+	}
+}
+
+func TestPackedRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(n uint16) bool {
+		s := randSeq(r, int(n)%2048)
+		return PackSeq(s).Unpack().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package extend stitches seed extensions into whole-read alignments. Both
+// pipelines share it: the BWA-MEM-like software baseline plugs in a banded
+// Smith-Waterman engine, the GenAx model plugs in a SillaX traceback lane.
+// Given a seed (an exact match anchoring the read on the reference), the
+// stitcher extends left over reversed strings, extends right, and fuses
+// the two traces with the seed's match run — exactly how a SillaX lane
+// consumes the hits buffered by the seeding lanes (§VI).
+package extend
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+	"genax/internal/sw"
+)
+
+// Extension is one directional seed extension: the best clipped score and
+// the consumed prefix lengths, with the trace when the engine produces one.
+type Extension struct {
+	Score            int
+	QueryLen, RefLen int
+	// Cigar covers the query completely (consumed part plus a trailing
+	// soft clip).
+	Cigar align.Cigar
+}
+
+// Engine runs one anchored, clipped extension. Implementations must treat
+// ref and query as anchored at position 0.
+type Engine interface {
+	Extend(ref, query dna.Seq) Extension
+}
+
+// BandedEngine adapts the software banded Smith-Waterman.
+type BandedEngine struct{ A *sw.BandedAligner }
+
+// Extend implements Engine.
+func (e BandedEngine) Extend(ref, query dna.Seq) Extension {
+	res := e.A.Extend(ref, query)
+	ql := res.Cigar.QueryLen()
+	if n := len(res.Cigar); n > 0 && res.Cigar[n-1].Op == align.OpClip {
+		ql -= res.Cigar[n-1].Len
+	}
+	return Extension{Score: res.Score, QueryLen: ql, RefLen: res.Cigar.RefLen(), Cigar: res.Cigar}
+}
+
+// SillaXEngine adapts a SillaX traceback lane.
+type SillaXEngine struct{ M *sillax.TracebackMachine }
+
+// Extend implements Engine.
+func (e SillaXEngine) Extend(ref, query dna.Seq) Extension {
+	res := e.M.Extend(ref, query)
+	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+}
+
+// AlignAt aligns read against ref given that read[seedStart:seedEnd]
+// matches ref exactly at refPos (global coordinate of seedStart). margin
+// is the extra reference window allowed beyond the read ends (the edit
+// bound K). The returned result carries a full-query cigar.
+func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd, refPos, margin int) align.Result {
+	seedLen := seedEnd - seedStart
+
+	// Left extension on reversed strings.
+	var left Extension
+	if seedStart > 0 {
+		lo := refPos - seedStart - margin
+		if lo < 0 {
+			lo = 0
+		}
+		left = eng.Extend(ref[lo:refPos].Reverse(), read[:seedStart].Reverse())
+	}
+	// Right extension.
+	var right Extension
+	rightRef := refPos + seedLen
+	if seedEnd < len(read) && rightRef <= len(ref) {
+		hi := rightRef + (len(read) - seedEnd) + margin
+		if hi > len(ref) {
+			hi = len(ref)
+		}
+		right = eng.Extend(ref[rightRef:hi], read[seedEnd:])
+	}
+
+	var cig align.Cigar
+	if seedStart > 0 {
+		if len(left.Cigar) > 0 {
+			cig = left.Cigar.Reverse()
+		} else {
+			cig = cig.Append(align.OpClip, seedStart)
+		}
+	}
+	cig = cig.Append(align.OpMatch, seedLen)
+	if seedEnd < len(read) {
+		if len(right.Cigar) > 0 {
+			cig = cig.Concat(right.Cigar)
+		} else {
+			cig = cig.Append(align.OpClip, len(read)-seedEnd)
+		}
+	}
+	return align.Result{
+		RefPos: refPos - left.RefLen,
+		Score:  left.Score + seedLen*sc.Match + right.Score,
+		Cigar:  cig,
+	}
+}

@@ -1,0 +1,166 @@
+package extend
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+	"genax/internal/sw"
+)
+
+func randSeq(r *rand.Rand, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(r.Intn(dna.NumBases))
+	}
+	return s
+}
+
+// plantRead embeds a read in ref at pos with e substitution errors outside
+// the window [seedS, seedE), returning the read.
+func plantRead(r *rand.Rand, ref dna.Seq, pos, readLen, seedS, seedE, e int) dna.Seq {
+	read := ref[pos : pos+readLen].Clone()
+	for i := 0; i < e; i++ {
+		p := r.Intn(readLen)
+		if p >= seedS && p < seedE {
+			continue
+		}
+		read[p] = dna.Base((int(read[p]) + 1 + r.Intn(3)) % 4)
+	}
+	return read
+}
+
+func engines(k int) map[string]Engine {
+	sc := align.BWAMEMDefaults()
+	return map[string]Engine{
+		"banded": BandedEngine{A: sw.NewBandedAligner(sc, k)},
+		"sillax": SillaXEngine{M: sillax.NewTracebackMachine(k, sc)},
+	}
+}
+
+func TestAlignAtPerfectRead(t *testing.T) {
+	r := rand.New(rand.NewSource(120))
+	ref := randSeq(r, 2000)
+	sc := align.BWAMEMDefaults()
+	for name, eng := range engines(16) {
+		read := ref[700:801].Clone()
+		res := AlignAt(eng, sc, ref, read, 20, 60, 720, 16)
+		if res.Score != 101 {
+			t.Errorf("%s: score = %d, want 101", name, res.Score)
+		}
+		if res.RefPos != 700 {
+			t.Errorf("%s: RefPos = %d, want 700", name, res.RefPos)
+		}
+		if res.Cigar.String() != "101=" {
+			t.Errorf("%s: cigar = %v", name, res.Cigar)
+		}
+	}
+}
+
+func TestAlignAtValidCigars(t *testing.T) {
+	r := rand.New(rand.NewSource(121))
+	sc := align.BWAMEMDefaults()
+	for name, eng := range engines(16) {
+		for trial := 0; trial < 100; trial++ {
+			ref := randSeq(r, 1500)
+			pos := 200 + r.Intn(1000)
+			read := plantRead(r, ref, pos, 101, 40, 60, r.Intn(5))
+			res := AlignAt(eng, sc, ref, read, 40, 60, pos+40, 16)
+			if err := res.Cigar.Validate(ref[res.RefPos:], read); err != nil {
+				t.Fatalf("%s trial %d: invalid cigar %v: %v", name, trial, res.Cigar, err)
+			}
+			if got := res.Cigar.Score(sc); got != res.Score {
+				t.Fatalf("%s trial %d: cigar rescores %d, reported %d", name, trial, got, res.Score)
+			}
+			if res.Score < 20 { // the 20-base seed alone guarantees this
+				t.Fatalf("%s trial %d: score %d below seed floor", name, trial, res.Score)
+			}
+		}
+	}
+}
+
+func TestAlignAtEnginesAgree(t *testing.T) {
+	// The SillaX lane and the banded software extension must produce the
+	// same scores on realistic reads (the §VIII-A concordance claim).
+	r := rand.New(rand.NewSource(122))
+	sc := align.BWAMEMDefaults()
+	eng := engines(20)
+	for trial := 0; trial < 120; trial++ {
+		ref := randSeq(r, 1500)
+		pos := 200 + r.Intn(1000)
+		read := plantRead(r, ref, pos, 101, 45, 65, r.Intn(6))
+		a := AlignAt(eng["banded"], sc, ref, read, 45, 65, pos+45, 20)
+		b := AlignAt(eng["sillax"], sc, ref, read, 45, 65, pos+45, 20)
+		if a.Score != b.Score {
+			t.Fatalf("trial %d: banded %d vs sillax %d", trial, a.Score, b.Score)
+		}
+	}
+}
+
+func TestAlignAtSeedAtReadBoundary(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	ref := randSeq(r, 500)
+	sc := align.BWAMEMDefaults()
+	for name, eng := range engines(8) {
+		// Seed at the very start of the read.
+		read := ref[100:150].Clone()
+		res := AlignAt(eng, sc, ref, read, 0, 20, 100, 8)
+		if res.Score != 50 || res.RefPos != 100 {
+			t.Errorf("%s start-seed: %+v", name, res)
+		}
+		// Seed at the very end.
+		res = AlignAt(eng, sc, ref, read, 30, 50, 130, 8)
+		if res.Score != 50 || res.RefPos != 100 {
+			t.Errorf("%s end-seed: %+v", name, res)
+		}
+		// Whole-read seed.
+		res = AlignAt(eng, sc, ref, read, 0, 50, 100, 8)
+		if res.Score != 50 || res.Cigar.String() != "50=" {
+			t.Errorf("%s full-seed: %+v", name, res)
+		}
+	}
+}
+
+func TestAlignAtRefBoundary(t *testing.T) {
+	r := rand.New(rand.NewSource(124))
+	ref := randSeq(r, 200)
+	sc := align.BWAMEMDefaults()
+	for name, eng := range engines(8) {
+		// Seed so close to the reference start that the left window is
+		// clamped; the left read part must be clipped, not crash.
+		read := append(randSeq(r, 10), ref[0:40]...)
+		res := AlignAt(eng, sc, ref, read, 10, 50, 0, 8)
+		if err := res.Cigar.Validate(ref[res.RefPos:], read); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Score < 40 {
+			t.Errorf("%s: score %d below seed floor", name, res.Score)
+		}
+		// Seed ending exactly at the reference end.
+		read2 := append(ref[160:200].Clone(), randSeq(r, 10)...)
+		res2 := AlignAt(eng, sc, ref, read2, 0, 40, 160, 8)
+		if err := res2.Cigar.Validate(ref[res2.RefPos:], read2); err != nil {
+			t.Fatalf("%s end: %v", name, err)
+		}
+	}
+}
+
+func TestAlignAtIndelRead(t *testing.T) {
+	sc := align.BWAMEMDefaults()
+	r := rand.New(rand.NewSource(125))
+	ref := randSeq(r, 600)
+	// Read = ref[100:201] with 3 bases deleted at read offset 70.
+	read := append(ref[100:170].Clone(), ref[173:201]...)
+	for name, eng := range engines(16) {
+		res := AlignAt(eng, sc, ref, read, 10, 50, 110, 16)
+		if err := res.Cigar.Validate(ref[res.RefPos:], read); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := 98 - (6 + 3) // 98 matches, one 3-base deletion
+		if res.Score != want {
+			t.Errorf("%s: score = %d, want %d (cigar %v)", name, res.Score, want, res.Cigar)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package fmindex
+
+import (
+	"fmt"
+
+	"genax/internal/dna"
+)
+
+// sentinelSym is the in-index value of the terminator appended to the
+// text. It sorts before every base.
+const sentinelSym = 0xFF
+
+// occSample is the checkpoint spacing of the occurrence table.
+const occSample = 64
+
+// Index is an FM-index over a DNA text: BWT plus sampled occurrence
+// counts, with the full suffix array retained for locating hits (GenAx's
+// position table plays the same role in hardware).
+type Index struct {
+	n   int // text length (without sentinel)
+	bwt []byte
+	// c[b] = number of symbols strictly smaller than base b in the text
+	// (including the sentinel, which occupies row 0).
+	c [dna.NumBases + 1]int
+	// occCk[(row/occSample)*4+b] = occurrences of b in bwt[0:row] at
+	// checkpoint rows.
+	occCk []int32
+	sa    []int32
+}
+
+// Build constructs the index. It runs in O(n log² n) time and keeps the
+// suffix array (4 bytes/base) for locate queries.
+func Build(text dna.Seq) *Index {
+	n := len(text)
+	saCore := BuildSuffixArray(text)
+	// Conceptually the suffix array of text+$ is [n, saCore...].
+	idx := &Index{n: n, bwt: make([]byte, n+1), sa: saCore}
+	// BWT row 0 corresponds to suffix n (the sentinel): preceding char is
+	// text[n-1] (or the sentinel itself for empty text).
+	if n > 0 {
+		idx.bwt[0] = byte(text[n-1])
+	} else {
+		idx.bwt[0] = sentinelSym
+	}
+	for i, p := range saCore {
+		if p == 0 {
+			idx.bwt[i+1] = sentinelSym
+		} else {
+			idx.bwt[i+1] = byte(text[p-1])
+		}
+	}
+	var counts [dna.NumBases]int
+	for _, b := range text {
+		counts[b]++
+	}
+	idx.c[0] = 1 // sentinel row
+	for b := 0; b < dna.NumBases; b++ {
+		idx.c[b+1] = idx.c[b] + counts[b]
+	}
+	// Occurrence checkpoints.
+	rows := n + 1
+	nCk := rows/occSample + 1
+	idx.occCk = make([]int32, nCk*dna.NumBases)
+	var run [dna.NumBases]int32
+	for row := 0; row < rows; row++ {
+		if row%occSample == 0 {
+			copy(idx.occCk[(row/occSample)*dna.NumBases:], run[:])
+		}
+		if b := idx.bwt[row]; b != sentinelSym {
+			run[b]++
+		}
+	}
+	return idx
+}
+
+// Len returns the text length.
+func (x *Index) Len() int { return x.n }
+
+// occ returns the number of occurrences of base b in bwt[0:row].
+func (x *Index) occ(b dna.Base, row int) int {
+	ck := row / occSample
+	cnt := int(x.occCk[ck*dna.NumBases+int(b)])
+	for r := ck * occSample; r < row; r++ {
+		if x.bwt[r] == byte(b) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Interval is a half-open BWT row interval [Lo, Hi) representing all
+// suffixes prefixed by some pattern.
+type Interval struct{ Lo, Hi int }
+
+// Size returns the number of occurrences the interval stands for.
+func (iv Interval) Size() int { return iv.Hi - iv.Lo }
+
+// Empty reports an empty interval.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// All returns the interval of the empty pattern (every suffix).
+func (x *Index) All() Interval { return Interval{0, x.n + 1} }
+
+// ExtendLeft narrows iv by prepending base b to the pattern (one backward
+// search step, the FM-index primitive whose irregular memory accesses §V
+// blames for BWT seeding's poor locality).
+func (x *Index) ExtendLeft(b dna.Base, iv Interval) Interval {
+	lo := x.c[b] + x.occ(b, iv.Lo)
+	hi := x.c[b] + x.occ(b, iv.Hi)
+	return Interval{lo, hi}
+}
+
+// Find returns the interval of all occurrences of pattern.
+func (x *Index) Find(pattern dna.Seq) Interval {
+	iv := x.All()
+	for i := len(pattern) - 1; i >= 0 && !iv.Empty(); i-- {
+		iv = x.ExtendLeft(pattern[i], iv)
+	}
+	return iv
+}
+
+// Locate expands an interval into text positions (unsorted). max <= 0
+// means no cap.
+func (x *Index) Locate(iv Interval, max int) []int32 {
+	if iv.Empty() {
+		return nil
+	}
+	out := make([]int32, 0, iv.Size())
+	for row := iv.Lo; row < iv.Hi; row++ {
+		if row == 0 {
+			// Row 0 is the sentinel suffix: position n, an empty-pattern
+			// artefact that callers never see because patterns are
+			// non-empty; guard anyway.
+			continue
+		}
+		out = append(out, x.sa[row-1])
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Count returns the number of occurrences of pattern.
+func (x *Index) Count(pattern dna.Seq) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	return x.Find(pattern).Size()
+}
+
+// Validate performs internal consistency checks (tests and index loaders).
+func (x *Index) Validate() error {
+	if len(x.bwt) != x.n+1 {
+		return fmt.Errorf("fmindex: bwt length %d != n+1 (%d)", len(x.bwt), x.n+1)
+	}
+	if x.c[dna.NumBases] != x.n+1 {
+		// The cumulative counts must end at the total row count: n bases
+		// plus the sentinel row.
+		return fmt.Errorf("fmindex: cumulative counts end at %d, want %d", x.c[dna.NumBases], x.n+1)
+	}
+	if countSentinels(x.bwt) != 1 {
+		return fmt.Errorf("fmindex: bwt holds %d sentinels, want 1", countSentinels(x.bwt))
+	}
+	return nil
+}
+
+func countSentinels(bwt []byte) int {
+	n := 0
+	for _, b := range bwt {
+		if b == sentinelSym {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,248 @@
+package fmindex
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"genax/internal/dna"
+)
+
+func randSeq(r *rand.Rand, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(r.Intn(dna.NumBases))
+	}
+	return s
+}
+
+func naiveSuffixArray(text dna.Seq) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	str := text.String()
+	sort.Slice(sa, func(i, j int) bool { return str[sa[i]:] < str[sa[j]:] })
+	return sa
+}
+
+func TestSuffixArrayMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	for _, n := range []int{0, 1, 2, 5, 17, 64, 200, 1000} {
+		text := randSeq(r, n)
+		got := BuildSuffixArray(text)
+		want := naiveSuffixArray(text)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d vs %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: sa[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSuffixArrayRepetitiveText(t *testing.T) {
+	// Repeats stress prefix doubling's rank ties.
+	text := dna.MustParseSeq(strings.Repeat("ACGT", 64) + strings.Repeat("A", 50))
+	got := BuildSuffixArray(text)
+	want := naiveSuffixArray(text)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sa[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func naiveOccurrences(text, pattern dna.Seq) []int32 {
+	var out []int32
+	if len(pattern) == 0 || len(pattern) > len(text) {
+		return out
+	}
+	ts, ps := text.String(), pattern.String()
+	for i := 0; i+len(ps) <= len(ts); i++ {
+		if ts[i:i+len(ps)] == ps {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestFMIndexCountAndLocate(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	text := randSeq(r, 500)
+	idx := Build(text)
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		var pattern dna.Seq
+		if trial%3 == 0 {
+			pattern = randSeq(r, 1+r.Intn(8))
+		} else {
+			// Sample a real substring so matches exist.
+			start := r.Intn(len(text) - 12)
+			pattern = text[start : start+1+r.Intn(12)].Clone()
+		}
+		want := naiveOccurrences(text, pattern)
+		if got := idx.Count(pattern); got != len(want) {
+			t.Fatalf("Count(%v) = %d, want %d", pattern, got, len(want))
+		}
+		got := idx.Locate(idx.Find(pattern), 0)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("Locate size %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Locate[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFMIndexEdgeCases(t *testing.T) {
+	idx := Build(dna.Seq{})
+	if idx.Count(dna.MustParseSeq("A")) != 0 {
+		t.Error("empty text reported matches")
+	}
+	one := Build(dna.MustParseSeq("G"))
+	if one.Count(dna.MustParseSeq("G")) != 1 {
+		t.Error("single-base text: G not found")
+	}
+	if one.Count(dna.MustParseSeq("C")) != 0 {
+		t.Error("single-base text: C found")
+	}
+	if one.Count(dna.Seq{}) != 0 {
+		t.Error("empty pattern should count 0 by contract")
+	}
+}
+
+func TestLocateCap(t *testing.T) {
+	text := dna.MustParseSeq(strings.Repeat("A", 100))
+	idx := Build(text)
+	iv := idx.Find(dna.MustParseSeq("AAA"))
+	if got := len(idx.Locate(iv, 5)); got != 5 {
+		t.Errorf("capped Locate returned %d hits, want 5", got)
+	}
+	if got := len(idx.Locate(iv, 0)); got != 98 {
+		t.Errorf("uncapped Locate returned %d hits, want 98", got)
+	}
+}
+
+// naiveSMEMs computes SMEMs by definition for the oracle.
+func naiveSMEMs(text, read dna.Seq, minLen int) []SMEM {
+	ts := text.String()
+	occurs := func(i, j int) bool {
+		return j > i && strings.Contains(ts, read[i:j].String())
+	}
+	type span struct{ s, e int }
+	var mems []span
+	m := len(read)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if !occurs(i, j) {
+				continue
+			}
+			leftExt := i > 0 && occurs(i-1, j)
+			rightExt := j < m && occurs(i, j+1)
+			if !leftExt && !rightExt {
+				mems = append(mems, span{i, j})
+			}
+		}
+	}
+	var out []SMEM
+	for _, a := range mems {
+		contained := false
+		for _, b := range mems {
+			if (b.s < a.s && b.e >= a.e) || (b.s <= a.s && b.e > a.e) {
+				contained = true
+				break
+			}
+		}
+		if !contained && a.e-a.s >= minLen {
+			out = append(out, SMEM{Start: a.s, End: a.e, Hits: naiveOccurrences(text, read[a.s:a.e])})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func TestSMEMsMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 60; trial++ {
+		text := randSeq(r, 120+r.Intn(200))
+		sx := BuildSMEMIndex(text)
+		var read dna.Seq
+		if trial%2 == 0 {
+			// Mutated substring: the realistic case.
+			start := r.Intn(len(text) - 40)
+			read = text[start : start+30+r.Intn(10)].Clone()
+			for e := 0; e < r.Intn(4); e++ {
+				p := r.Intn(len(read))
+				read[p] = dna.Base((int(read[p]) + 1 + r.Intn(3)) % 4)
+			}
+		} else {
+			read = randSeq(r, 15+r.Intn(25))
+		}
+		minLen := 1 + r.Intn(8)
+		got := sx.SMEMs(read, minLen, 0)
+		want := naiveSMEMs(text, read, minLen)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d SMEMs, want %d (got=%+v want=%+v read=%v)", trial, len(got), len(want), got, want, read)
+		}
+		for i := range got {
+			if got[i].Start != want[i].Start || got[i].End != want[i].End {
+				t.Fatalf("trial %d smem %d: [%d,%d) vs [%d,%d)", trial, i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+			}
+			g := append([]int32(nil), got[i].Hits...)
+			sort.Slice(g, func(a, b int) bool { return g[a] < g[b] })
+			if len(g) != len(want[i].Hits) {
+				t.Fatalf("trial %d smem %d: %d hits, want %d", trial, i, len(g), len(want[i].Hits))
+			}
+			for j := range g {
+				if g[j] != want[i].Hits[j] {
+					t.Fatalf("trial %d smem %d hit %d: %d vs %d", trial, i, j, g[j], want[i].Hits[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSMEMsExactRead(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	text := randSeq(r, 4000)
+	sx := BuildSMEMIndex(text)
+	read := text[1000:1101].Clone()
+	smems := sx.SMEMs(read, 19, 0)
+	if len(smems) != 1 {
+		t.Fatalf("exact read: %d SMEMs, want 1", len(smems))
+	}
+	s := smems[0]
+	if s.Start != 0 || s.End != 101 {
+		t.Errorf("SMEM span [%d,%d), want [0,101)", s.Start, s.End)
+	}
+	found := false
+	for _, h := range s.Hits {
+		if h == 1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("true position 1000 missing from hits")
+	}
+}
+
+func TestSMEMsEmptyInputs(t *testing.T) {
+	sx := BuildSMEMIndex(dna.MustParseSeq("ACGTACGT"))
+	if got := sx.SMEMs(dna.Seq{}, 1, 0); got != nil {
+		t.Errorf("empty read produced %v", got)
+	}
+	empty := BuildSMEMIndex(dna.Seq{})
+	if got := empty.SMEMs(dna.MustParseSeq("ACG"), 1, 0); got != nil {
+		t.Errorf("empty text produced %v", got)
+	}
+}

@@ -1,0 +1,62 @@
+// Package fmindex implements the index substrate of the BWA-MEM-like
+// software baseline: suffix array construction, the Burrows-Wheeler
+// transform, an FM-index with backward search, and SMEM (super-maximal
+// exact match) enumeration. GenAx's seeding accelerator (package seed) is
+// validated against the SMEMs this package produces, mirroring how the
+// paper validates against BWA-MEM (§V, §VII).
+package fmindex
+
+import (
+	"sort"
+
+	"genax/internal/dna"
+)
+
+// BuildSuffixArray returns the suffix array of text (as base values 0..3)
+// by prefix doubling in O(n log² n). The implicit sentinel at position n
+// sorts before every other suffix and is not included in the result.
+func BuildSuffixArray(text dna.Seq) []int32 {
+	n := len(text)
+	if n == 0 {
+		return nil
+	}
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sa[i] = int32(i)
+		rank[i] = int32(text[i])
+	}
+	cmp := func(a, b int32, k int) bool {
+		if rank[a] != rank[b] {
+			return rank[a] < rank[b]
+		}
+		ra, rb := int32(-1), int32(-1)
+		if int(a)+k < n {
+			ra = rank[int(a)+k]
+		}
+		if int(b)+k < n {
+			rb = rank[int(b)+k]
+		}
+		return ra < rb
+	}
+	for k := 1; ; k *= 2 {
+		kk := k
+		sort.Slice(sa, func(i, j int) bool { return cmp(sa[i], sa[j], kk) })
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if cmp(sa[i-1], sa[i], kk) {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[sa[n-1]]) == n-1 {
+			break
+		}
+		if k > n {
+			break
+		}
+	}
+	return sa
+}

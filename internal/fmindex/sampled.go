@@ -1,0 +1,93 @@
+package fmindex
+
+import "genax/internal/dna"
+
+// SampledIndex is an FM-index whose suffix array is subsampled: only every
+// sa-sample-th entry is kept and other positions are recovered by LF-walking
+// to the nearest sample — the classic space/time trade-off real FM-index
+// aligners (BWA, Bowtie) ship, and the memory regime whose irregular
+// accesses §V contrasts with GenAx's streaming tables. Locate costs up to
+// `sample` extra backward steps per hit instead of one array read.
+type SampledIndex struct {
+	*Index
+	sample int
+	// sampled[row/sample] = text position of BWT row `row` for rows that
+	// are multiples of sample (over the full n+1 row space).
+	sampled []int32
+}
+
+// NewSampled builds a sampled index over text keeping every sample-th
+// suffix-array entry (sample >= 1; 1 keeps everything).
+func NewSampled(text dna.Seq, sample int) *SampledIndex {
+	if sample < 1 {
+		sample = 1
+	}
+	base := Build(text)
+	si := &SampledIndex{Index: base, sample: sample}
+	rows := base.n + 1
+	si.sampled = make([]int32, (rows+sample-1)/sample)
+	for row := 0; row < rows; row += sample {
+		si.sampled[row/sample] = si.saAt(row)
+	}
+	return si
+}
+
+// saAt reads the full suffix array (available during construction).
+func (si *SampledIndex) saAt(row int) int32 {
+	if row == 0 {
+		return int32(si.n) // sentinel suffix
+	}
+	return si.sa[row-1]
+}
+
+// Sample returns the sampling rate.
+func (si *SampledIndex) Sample() int { return si.sample }
+
+// SampledBytes returns the memory footprint of the retained samples,
+// versus the 4(n+1) bytes of the full array.
+func (si *SampledIndex) SampledBytes() int { return 4 * len(si.sampled) }
+
+// lfStep maps a BWT row to the row of the suffix one position earlier in
+// the text (the LF mapping).
+func (si *SampledIndex) lfStep(row int) (int, bool) {
+	b := si.bwt[row]
+	if b == sentinelSym {
+		return 0, false // reached the start of the text
+	}
+	return si.c[b] + si.occ(dna.Base(b), row), true
+}
+
+// LocateSampled resolves the text positions of an interval using only the
+// sampled entries: each row LF-walks until it lands on a sampled row, then
+// adds the number of steps taken.
+func (si *SampledIndex) LocateSampled(iv Interval, max int) []int32 {
+	if iv.Empty() {
+		return nil
+	}
+	out := make([]int32, 0, iv.Size())
+	for row := iv.Lo; row < iv.Hi; row++ {
+		if row == 0 {
+			continue // sentinel suffix
+		}
+		r, steps := row, 0
+		pos := int32(-1)
+		for r%si.sample != 0 {
+			nr, ok := si.lfStep(r)
+			if !ok {
+				// The current row's suffix starts at text position 0.
+				pos = int32(steps)
+				break
+			}
+			r = nr
+			steps++
+		}
+		if pos < 0 {
+			pos = si.sampled[r/si.sample] + int32(steps)
+		}
+		out = append(out, pos)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package fmindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSampledLocateMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(94))
+	text := randSeq(r, 800)
+	for _, sample := range []int{1, 2, 4, 8, 32} {
+		si := NewSampled(text, sample)
+		for trial := 0; trial < 100; trial++ {
+			start := r.Intn(len(text) - 10)
+			pattern := text[start : start+2+r.Intn(8)]
+			iv := si.Find(pattern)
+			full := si.Locate(iv, 0)
+			got := si.LocateSampled(iv, 0)
+			sort.Slice(full, func(i, j int) bool { return full[i] < full[j] })
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(got) != len(full) {
+				t.Fatalf("sample=%d: %d vs %d positions", sample, len(got), len(full))
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Fatalf("sample=%d trial=%d: pos[%d] = %d, want %d (pattern %v)", sample, trial, i, got[i], full[i], pattern)
+				}
+			}
+		}
+	}
+}
+
+func TestSampledLocatePatternAtTextStart(t *testing.T) {
+	// Positions near 0 exercise the sentinel-walk branch.
+	r := rand.New(rand.NewSource(95))
+	text := randSeq(r, 300)
+	si := NewSampled(text, 7)
+	pattern := text[:12]
+	got := si.LocateSampled(si.Find(pattern), 0)
+	found := false
+	for _, p := range got {
+		if p == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("position 0 not recovered: %v", got)
+	}
+}
+
+func TestSampledBytesShrink(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	text := randSeq(r, 4096)
+	full := NewSampled(text, 1)
+	sparse := NewSampled(text, 32)
+	if sparse.SampledBytes() >= full.SampledBytes()/16 {
+		t.Errorf("sampling saved too little: %d vs %d bytes", sparse.SampledBytes(), full.SampledBytes())
+	}
+	if sparse.Sample() != 32 {
+		t.Errorf("Sample() = %d", sparse.Sample())
+	}
+}
+
+func TestSampledLocateCap(t *testing.T) {
+	text := randSeq(rand.New(rand.NewSource(97)), 500)
+	si := NewSampled(text, 4)
+	iv := si.All()
+	if got := len(si.LocateSampled(iv, 10)); got != 10 {
+		t.Errorf("capped locate returned %d", got)
+	}
+}

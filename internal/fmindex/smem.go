@@ -1,0 +1,100 @@
+package fmindex
+
+import "genax/internal/dna"
+
+// SMEM is a super-maximal exact match between a read and the reference: a
+// maximal exact match (extendable in neither direction) that is not
+// contained in any other maximal exact match of the read (§V).
+type SMEM struct {
+	// Start and End delimit the read substring [Start, End).
+	Start, End int
+	// Hits are the reference positions where the substring occurs.
+	Hits []int32
+}
+
+// Len returns the match length.
+func (s SMEM) Len() int { return s.End - s.Start }
+
+// SMEMIndex packages a forward and a reversed FM-index so that matches can
+// be extended in both directions — the software equivalent of BWA-MEM's
+// FMD-index seeding that the GenAx seeding accelerator replaces.
+type SMEMIndex struct {
+	fwd *Index
+	rev *Index
+	n   int
+}
+
+// BuildSMEMIndex indexes the text in both directions.
+func BuildSMEMIndex(text dna.Seq) *SMEMIndex {
+	revText := make(dna.Seq, len(text))
+	for i, b := range text {
+		revText[len(text)-1-i] = b
+	}
+	return &SMEMIndex{fwd: Build(text), rev: Build(revText), n: len(text)}
+}
+
+// Forward exposes the forward index (for locating hits of any substring).
+func (s *SMEMIndex) Forward() *Index { return s.fwd }
+
+// longestMatchFrom returns the longest l such that read[i:i+l] occurs in
+// the text. Extending the match to the right is a backward-search step on
+// the reversed index.
+func (s *SMEMIndex) longestMatchFrom(read dna.Seq, i int) int {
+	iv := s.rev.All()
+	l := 0
+	for i+l < len(read) {
+		next := s.rev.ExtendLeft(read[i+l], iv)
+		if next.Empty() {
+			break
+		}
+		iv = next
+		l++
+	}
+	return l
+}
+
+// SMEMs enumerates the super-maximal exact matches of the read that are at
+// least minLen long, with their reference hits (capped at maxHits each;
+// maxHits <= 0 means uncapped). The result is ordered by read position.
+func (s *SMEMIndex) SMEMs(read dna.Seq, minLen, maxHits int) []SMEM {
+	if minLen < 1 {
+		minLen = 1
+	}
+	m := len(read)
+	if m == 0 || s.n == 0 {
+		return nil
+	}
+	// L[i] = longest match starting at i. A candidate MEM starts at i iff
+	// it is left-non-extendable: i == 0 or L[i-1] <= L[i] (a match from
+	// i-1 spanning past i+L[i] would need L[i-1] >= L[i]+1).
+	L := make([]int, m)
+	for i := 0; i < m; i++ {
+		L[i] = s.longestMatchFrom(read, i)
+	}
+	var out []SMEM
+	maxEnd := -1
+	for i := 0; i < m; i++ {
+		if L[i] == 0 {
+			continue
+		}
+		if i > 0 && L[i-1] > L[i] {
+			// Right end of the i-1 match strictly covers this one.
+			if e := i - 1 + L[i-1]; e > maxEnd {
+				maxEnd = e
+			}
+			continue
+		}
+		end := i + L[i]
+		// Super-maximality: drop candidates contained in an earlier MEM.
+		if end <= maxEnd {
+			continue
+		}
+		maxEnd = end
+		if L[i] < minLen {
+			continue
+		}
+		iv := s.fwd.Find(read[i:end])
+		out = append(out, SMEM{Start: i, End: end, Hits: s.fwd.Locate(iv, maxHits)})
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package hw
+
+// ChipConfig describes a GenAx die (§VI, Fig 11).
+type ChipConfig struct {
+	SeedingLanes int     // 128
+	SillaXLanes  int     // 4
+	ClockGHz     float64 // 2 GHz
+	K            int     // 40
+
+	IndexTableMB    float64 // 48
+	PositionTableMB float64 // 18
+	RefCacheKB      float64 // 4 x 512
+	ReadBufferKB    float64 // 16
+
+	SegmentCount int     // 512
+	DDRChannels  int     // 8
+	DDRGBps      float64 // 19.2 per channel
+}
+
+// DefaultChip returns the paper's GenAx configuration.
+func DefaultChip() ChipConfig {
+	return ChipConfig{
+		SeedingLanes:    128,
+		SillaXLanes:     4,
+		ClockGHz:        2.0,
+		K:               40,
+		IndexTableMB:    48,
+		PositionTableMB: 18,
+		RefCacheKB:      4 * 512,
+		ReadBufferKB:    16,
+		SegmentCount:    512,
+		DDRChannels:     8,
+		DDRGBps:         19.2,
+	}
+}
+
+// Area model constants calibrated to Table II:
+//
+//	seeding lanes (x128) 4.224 mm² -> 0.033 mm²/lane (512-entry CAM + FSM)
+//	SillaX lanes  (x4)   5.36 mm²  -> 1.34 mm²/lane (traceback machine + lane glue)
+//	on-chip SRAM  68 MB  163.2 mm² -> 2.4 mm²/MB in 28 nm
+const (
+	seedingLaneAreaMm2 = 4.224 / 128
+	sillaXLaneAreaMm2  = 5.36 / 4
+	sramAreaMm2PerMB   = 163.2 / 68
+)
+
+// Power model constants: SillaX lanes are the synthesized 1.54 W traceback
+// machines; a seeding lane's CAM+FSM draws ~20 mW; SRAM ~45 mW/MB active.
+// Together with Table II's areas this puts GenAx at ~11.7 W, 12x below the
+// paper's measured 140 W Xeon (Fig 15b).
+const (
+	seedingLanePowerW = 0.020
+	sramPowerWPerMB   = 0.045
+)
+
+// SRAMTotalMB returns the on-chip SRAM capacity.
+func (c ChipConfig) SRAMTotalMB() float64 {
+	return c.IndexTableMB + c.PositionTableMB + (c.RefCacheKB+c.ReadBufferKB)/1024
+}
+
+// AreaRow is one Table II line.
+type AreaRow struct {
+	Component string
+	AreaMm2   float64
+}
+
+// AreaBreakdown reproduces Table II.
+func (c ChipConfig) AreaBreakdown() []AreaRow {
+	rows := []AreaRow{
+		{"Seeding lanes", seedingLaneAreaMm2 * float64(c.SeedingLanes)},
+		{"SillaX lanes", sillaXLaneAreaMm2 * float64(c.SillaXLanes)},
+		{"On-chip SRAM", sramAreaMm2PerMB * c.SRAMTotalMB()},
+	}
+	total := 0.0
+	for _, r := range rows {
+		total += r.AreaMm2
+	}
+	return append(rows, AreaRow{"Total", total})
+}
+
+// TotalAreaMm2 returns the die area.
+func (c ChipConfig) TotalAreaMm2() float64 {
+	rows := c.AreaBreakdown()
+	return rows[len(rows)-1].AreaMm2
+}
+
+// TotalPowerW returns the chip power.
+func (c ChipConfig) TotalPowerW() float64 {
+	sillax := MachinePower(TracebackPE, c.K, c.ClockGHz) * float64(c.SillaXLanes)
+	seeding := seedingLanePowerW * float64(c.SeedingLanes)
+	sram := sramPowerWPerMB * c.SRAMTotalMB()
+	return sillax + seeding + sram
+}
+
+// Published baseline numbers carried from the paper (Table I, §VIII) for
+// the comparison bars we cannot measure (GPU) or that anchor the measured
+// ratios (CPU power).
+const (
+	// BWAMEMXeonReadsPerSec is derived from the paper's 31.7x speedup at
+	// 4058 KReads/s GenAx throughput.
+	BWAMEMXeonReadsPerSec = 4058e3 / 31.7
+	// CUSHAW2GPUReadsPerSec from the 72.4x ratio.
+	CUSHAW2GPUReadsPerSec = 4058e3 / 72.4
+	// GenAxPaperReadsPerSec is the headline number.
+	GenAxPaperReadsPerSec = 4058e3
+	// XeonPowerW is the dual-socket E5-2697v3 RAPL measurement implied by
+	// the 12x power reduction.
+	XeonPowerW = 140.0
+	// TitanXpPowerW is the GPU board power for Fig 15b.
+	TitanXpPowerW = 180.0
+	// SillaXPaperKHitsPerSec estimates Fig 14's SillaX bar: four lanes at
+	// 2 GHz retiring one ~310-cycle 101 bp extension per lane at a time.
+	SillaXPaperKHitsPerSec = 25800.0
+	// SeqAnCPUKHitsPerSec and SWSharpGPUKHitsPerSec anchor Fig 14 via the
+	// published ratios: SillaX is 62.9x over SeqAn and 5287x over SW#.
+	SeqAnCPUKHitsPerSec   = SillaXPaperKHitsPerSec / 62.9
+	SWSharpGPUKHitsPerSec = SillaXPaperKHitsPerSec / 5287.0
+)

@@ -1,0 +1,170 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func TestEditMachineCalibration(t *testing.T) {
+	// §VIII-A: edit machine @2 GHz is 0.012 mm² and 0.047 W for K=40.
+	if a := MachineArea(EditPE, 40, 2.0); !approx(a, 0.012, 0.01) {
+		t.Errorf("edit machine area @2GHz = %.4f mm², want 0.012", a)
+	}
+	p := MachinePower(EditPE, 40, 2.0)
+	if !approx(p, 0.047, 0.15) { // leakage term adds a few percent
+		t.Errorf("edit machine power @2GHz = %.4f W, want ~0.047", p)
+	}
+}
+
+func TestTracebackMachineCalibration(t *testing.T) {
+	if a := MachineArea(TracebackPE, 40, 2.0); !approx(a, 1.41, 0.01) {
+		t.Errorf("traceback machine area @2GHz = %.3f mm², want 1.41", a)
+	}
+	if p := MachinePower(TracebackPE, 40, 2.0); !approx(p, 1.54, 0.15) {
+		t.Errorf("traceback machine power @2GHz = %.3f W, want ~1.54", p)
+	}
+}
+
+func TestEditPEAreaAt5GHz(t *testing.T) {
+	// §VIII-C: 9.7 µm² at 5 GHz, 30x below a banded-SW PE.
+	a := PEArea(EditPE, 5.0)
+	if !approx(a, 9.7, 0.02) {
+		t.Errorf("edit PE @5GHz = %.2f µm², want 9.7", a)
+	}
+	if ratio := BandedSWPEAreaUm2 / a; ratio < 25 || ratio > 35 {
+		t.Errorf("banded-SW/Silla PE area ratio = %.1f, paper says ~30x", ratio)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	// Fig 12: area and power grow monotonically past the 2 GHz knee, with
+	// super-linear growth at high frequency.
+	for _, m := range []Machine{EditPE, TracebackPE, ScoringPE} {
+		pts := FrequencySweep(m, 1, 8, 0.5)
+		if len(pts) != 15 {
+			t.Fatalf("%v: %d points", m, len(pts))
+		}
+		optSeen := false
+		for i := 1; i < len(pts); i++ {
+			if pts[i].AreaUm2 < pts[i-1].AreaUm2 {
+				t.Errorf("%v: area not monotone at %.1f GHz", m, pts[i].GHz)
+			}
+			if pts[i].PowerUw <= pts[i-1].PowerUw {
+				t.Errorf("%v: power not increasing at %.1f GHz", m, pts[i].GHz)
+			}
+			if pts[i].Optimal {
+				optSeen = true
+				if pts[i].GHz != 2.0 {
+					t.Errorf("%v: optimal at %.1f GHz, want 2.0", m, pts[i].GHz)
+				}
+			}
+		}
+		if !optSeen {
+			t.Errorf("%v: no optimal point marked", m)
+		}
+		// Super-linear power: 8 GHz must cost more than 4x the 2 GHz power.
+		if pts[14].PowerUw < 4*pts[2].PowerUw {
+			t.Errorf("%v: power growth not super-linear (%.1f vs %.1f)", m, pts[14].PowerUw, pts[2].PowerUw)
+		}
+	}
+}
+
+func TestScoringBetweenEditAndTraceback(t *testing.T) {
+	if PEArea(ScoringPE, 2) <= PEArea(EditPE, 2) || PEArea(ScoringPE, 2) >= PEArea(TracebackPE, 2) {
+		t.Error("scoring PE area not between edit and traceback")
+	}
+}
+
+func TestTableIIBreakdown(t *testing.T) {
+	c := DefaultChip()
+	rows := c.AreaBreakdown()
+	want := map[string]float64{
+		"Seeding lanes": 4.224,
+		"SillaX lanes":  5.36,
+		"On-chip SRAM":  163.2,
+		"Total":         172.78,
+	}
+	for _, r := range rows {
+		w, ok := want[r.Component]
+		if !ok {
+			t.Fatalf("unexpected component %q", r.Component)
+		}
+		if !approx(r.AreaMm2, w, 0.02) {
+			t.Errorf("%s = %.3f mm², want %.3f", r.Component, r.AreaMm2, w)
+		}
+	}
+	if !approx(c.TotalAreaMm2(), 172.78, 0.02) {
+		t.Errorf("total = %.2f", c.TotalAreaMm2())
+	}
+}
+
+func TestSRAMTotal(t *testing.T) {
+	c := DefaultChip()
+	if got := c.SRAMTotalMB(); !approx(got, 68, 0.02) {
+		t.Errorf("SRAM = %.1f MB, want ~68", got)
+	}
+}
+
+func TestPowerRatioVsXeon(t *testing.T) {
+	// Fig 15b: 12x reduction vs the Xeon.
+	c := DefaultChip()
+	p := c.TotalPowerW()
+	ratio := XeonPowerW / p
+	if ratio < 10 || ratio > 14 {
+		t.Errorf("power ratio = %.1f (GenAx %.1f W), paper says 12x", ratio, p)
+	}
+}
+
+func TestThroughputModelPaperScale(t *testing.T) {
+	// With coefficients in the range our pipeline simulation measures,
+	// the model must land in the paper's throughput regime (4058 KReads/s
+	// within ~2x) and show >25x over the published BWA-MEM rate.
+	c := DefaultChip()
+	p := PipelineProfile{
+		ReadLen:                  101,
+		ExactFraction:            0.75,
+		SeedingOpsPerReadSegment: 60,
+		ExtensionsPerRead:        4,
+		ExtensionCycles:          330,
+	}
+	rep := c.Throughput(p, 787265109)
+	if rep.ReadsPerSec < 2000e3 || rep.ReadsPerSec > 9000e3 {
+		t.Errorf("model throughput %.0f reads/s out of the paper regime", rep.ReadsPerSec)
+	}
+	if ratio := rep.ReadsPerSec / BWAMEMXeonReadsPerSec; ratio < 15 || ratio > 75 {
+		t.Errorf("speedup over BWA-MEM = %.1fx, want the 31.7x regime", ratio)
+	}
+	if rep.TotalSec <= 0 || rep.Bottleneck == "" {
+		t.Errorf("degenerate report %+v", rep)
+	}
+	t.Logf("model: %.0f KReads/s, %.0fs total, bottleneck %s (seed %.0fs ext %.0fs tables %.0fs reads %.0fs)",
+		rep.ReadsPerSec/1e3, rep.TotalSec, rep.Bottleneck, rep.SeedingSec, rep.ExtensionSec, rep.TableLoadSec, rep.ReadLoadSec)
+}
+
+func TestSillaXRawThroughput(t *testing.T) {
+	c := DefaultChip()
+	got := c.SillaXRawThroughput(330)
+	if got < 20e6 || got > 30e6 {
+		t.Errorf("SillaX raw throughput = %.1f Mhits/s, expected 20-30M", got/1e6)
+	}
+	if c.SillaXRawThroughput(0) != 0 {
+		t.Error("zero cycles must yield zero throughput")
+	}
+	// Fig 14 anchors.
+	if SillaXPaperKHitsPerSec/SeqAnCPUKHitsPerSec < 62 || SillaXPaperKHitsPerSec/SeqAnCPUKHitsPerSec > 64 {
+		t.Error("SeqAn anchor ratio drifted")
+	}
+}
+
+func TestBaselineConstants(t *testing.T) {
+	if !approx(GenAxPaperReadsPerSec/BWAMEMXeonReadsPerSec, 31.7, 0.001) {
+		t.Error("BWA-MEM anchor inconsistent")
+	}
+	if !approx(GenAxPaperReadsPerSec/CUSHAW2GPUReadsPerSec, 72.4, 0.001) {
+		t.Error("CUSHAW2 anchor inconsistent")
+	}
+}

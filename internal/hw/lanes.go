@@ -1,0 +1,92 @@
+package hw
+
+// The lane-level scheduling model of Fig 11: 128 seeding lanes feed hit
+// buffers that four SillaX lanes drain. Given the per-(read,segment) work
+// items the pipeline simulation measured, a discrete-event simulation
+// yields the makespan and per-pool utilization — the evidence behind §VI's
+// claim that four SillaX lanes "have sufficient throughput to process hits
+// from all 128 seeding lanes".
+
+// LaneWork is the work one read generates in one segment pass.
+type LaneWork struct {
+	// SeedOps is the seeding-lane occupancy in cycles (index lookups
+	// plus CAM operations).
+	SeedOps int64
+	// ExtJobs lists the SillaX extension jobs spawned (cycles each).
+	ExtJobs []int64
+}
+
+// LaneReport summarizes the simulation.
+type LaneReport struct {
+	MakespanCycles int64
+	// SeedUtilization and ExtUtilization are busy fractions in [0,1].
+	SeedUtilization, ExtUtilization float64
+	// Bottleneck names the pool with the higher utilization.
+	Bottleneck string
+	// Jobs processed.
+	Reads, Extensions int
+}
+
+// SimulateLanes schedules the work items FIFO onto the chip's lane pools:
+// each read occupies the earliest-free seeding lane; extensions release
+// when their read's seeding completes and occupy the earliest-free SillaX
+// lane. Buffering between the pools is assumed deep enough (the 16 KB
+// read buffer and hit FIFOs of Fig 11) that lanes never stall on space.
+func SimulateLanes(cfg ChipConfig, work []LaneWork) LaneReport {
+	rep := LaneReport{}
+	if len(work) == 0 {
+		return rep
+	}
+	seedFree := make([]int64, cfg.SeedingLanes)
+	extFree := make([]int64, cfg.SillaXLanes)
+	var seedBusy, extBusy int64
+
+	// earliest returns the index of the lane with the smallest free time.
+	earliest := func(lanes []int64) int {
+		best := 0
+		for i := 1; i < len(lanes); i++ {
+			if lanes[i] < lanes[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	var makespan int64
+	for _, w := range work {
+		rep.Reads++
+		sl := earliest(seedFree)
+		start := seedFree[sl]
+		done := start + w.SeedOps
+		seedFree[sl] = done
+		seedBusy += w.SeedOps
+		if done > makespan {
+			makespan = done
+		}
+		for _, ext := range w.ExtJobs {
+			rep.Extensions++
+			el := earliest(extFree)
+			s := extFree[el]
+			if done > s {
+				s = done // hit is only available once seeding finished
+			}
+			e := s + ext
+			extFree[el] = e
+			extBusy += ext
+			if e > makespan {
+				makespan = e
+			}
+		}
+	}
+	rep.MakespanCycles = makespan
+	if makespan > 0 {
+		rep.SeedUtilization = float64(seedBusy) / float64(makespan*int64(cfg.SeedingLanes))
+		rep.ExtUtilization = float64(extBusy) / float64(makespan*int64(cfg.SillaXLanes))
+	}
+	if rep.SeedUtilization >= rep.ExtUtilization {
+		rep.Bottleneck = "seeding"
+	} else {
+		rep.Bottleneck = "extension"
+	}
+	return rep
+}

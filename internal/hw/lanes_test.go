@@ -1,0 +1,78 @@
+package hw
+
+import "testing"
+
+func TestSimulateLanesEmpty(t *testing.T) {
+	rep := SimulateLanes(DefaultChip(), nil)
+	if rep.MakespanCycles != 0 || rep.Reads != 0 {
+		t.Errorf("empty work: %+v", rep)
+	}
+}
+
+func TestSimulateLanesSingleRead(t *testing.T) {
+	cfg := DefaultChip()
+	rep := SimulateLanes(cfg, []LaneWork{{SeedOps: 100, ExtJobs: []int64{300}}})
+	if rep.MakespanCycles != 400 {
+		t.Errorf("makespan = %d, want 400 (serial dependency)", rep.MakespanCycles)
+	}
+	if rep.Reads != 1 || rep.Extensions != 1 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+func TestSimulateLanesParallelism(t *testing.T) {
+	// 128 identical seeding-only reads must run fully parallel on the
+	// 128 lanes; 256 must take two waves.
+	cfg := DefaultChip()
+	mk := func(n int) []LaneWork {
+		w := make([]LaneWork, n)
+		for i := range w {
+			w[i] = LaneWork{SeedOps: 100}
+		}
+		return w
+	}
+	if rep := SimulateLanes(cfg, mk(128)); rep.MakespanCycles != 100 {
+		t.Errorf("128 reads: makespan %d, want 100", rep.MakespanCycles)
+	}
+	if rep := SimulateLanes(cfg, mk(256)); rep.MakespanCycles != 200 {
+		t.Errorf("256 reads: makespan %d, want 200", rep.MakespanCycles)
+	}
+}
+
+func TestSimulateLanesExtensionBottleneck(t *testing.T) {
+	// Heavy extension work saturates the 4 SillaX lanes.
+	cfg := DefaultChip()
+	var work []LaneWork
+	for i := 0; i < 64; i++ {
+		work = append(work, LaneWork{SeedOps: 10, ExtJobs: []int64{1000}})
+	}
+	rep := SimulateLanes(cfg, work)
+	if rep.Bottleneck != "extension" {
+		t.Errorf("bottleneck = %s (%+v)", rep.Bottleneck, rep)
+	}
+	// 64 jobs x 1000 cycles on 4 lanes >= 16000 cycles.
+	if rep.MakespanCycles < 16000 {
+		t.Errorf("makespan %d below extension lower bound", rep.MakespanCycles)
+	}
+	if rep.ExtUtilization < 0.9 {
+		t.Errorf("extension utilization %.2f, expected near 1", rep.ExtUtilization)
+	}
+}
+
+func TestSimulateLanesUtilizationBounds(t *testing.T) {
+	cfg := DefaultChip()
+	work := []LaneWork{
+		{SeedOps: 50, ExtJobs: []int64{10, 20}},
+		{SeedOps: 200},
+		{SeedOps: 0, ExtJobs: []int64{500}},
+	}
+	rep := SimulateLanes(cfg, work)
+	for _, u := range []float64{rep.SeedUtilization, rep.ExtUtilization} {
+		if u < 0 || u > 1 {
+			t.Errorf("utilization %f out of bounds", u)
+		}
+	}
+	if rep.Extensions != 3 {
+		t.Errorf("extensions = %d", rep.Extensions)
+	}
+}

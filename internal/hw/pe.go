@@ -1,0 +1,127 @@
+// Package hw is the analytical hardware model standing in for the paper's
+// 28 nm Synopsys DC synthesis and Ramulator runs (§VII). Every constant is
+// calibrated to a number the paper reports: per-PE gate counts and the
+// area/power/frequency curves of Fig 12, the GenAx area breakdown of
+// Table II, the throughput and power comparisons of Fig 15, and the DDR4
+// streaming model behind the segment-loading cost (§VI).
+package hw
+
+import "math"
+
+// Machine selects which SillaX machine a PE belongs to.
+type Machine int
+
+// SillaX machine variants (§IV). Scoring is "comparable to the traceback
+// machine" per §VIII-A, modelled at a small discount.
+const (
+	EditPE Machine = iota
+	ScoringPE
+	TracebackPE
+)
+
+// String names the machine.
+func (m Machine) String() string {
+	switch m {
+	case EditPE:
+		return "edit"
+	case ScoringPE:
+		return "scoring"
+	default:
+		return "traceback"
+	}
+}
+
+// Calibration anchors from the paper (28 nm):
+//   - edit machine @2 GHz:      0.012 mm², 0.047 W, 13 gates/PE (§IV-A, §VIII-A)
+//   - edit PE @5 GHz:           9.7 µm² (§VIII-C, 30x below a banded-SW PE's 300 µm²)
+//   - traceback machine @2 GHz: 1.41 mm², 1.54 W (§VIII-A)
+//   - K = 40 -> 41x41 = 1681 PEs (§VIII-A)
+const (
+	calibPEs = 1681.0
+
+	editAreaUm2At2GHz = 0.012 * 1e6 / calibPEs // ~7.14 µm²
+	editPowerUwAt2GHz = 0.047 * 1e6 / calibPEs // ~28 µW
+	editAreaUm2At5GHz = 9.7
+	tbAreaUm2At2GHz   = 1.41 * 1e6 / calibPEs // ~839 µm²
+	tbPowerUwAt2GHz   = 1.54 * 1e6 / calibPEs // ~916 µW
+	scoringAreaScale  = 0.82                  // scoring PE lacks the pointer/counter registers
+	scoringPowerScale = 0.85
+	// Gate upsizing beyond the 2 GHz knee: area(f) = A2 * (1 + kUp*(f-2)²),
+	// solved so the edit PE hits 9.7 µm² at 5 GHz.
+	kneeGHz = 2.0
+)
+
+var kUp = (editAreaUm2At5GHz/editAreaUm2At2GHz - 1) / ((5 - kneeGHz) * (5 - kneeGHz))
+
+// PEArea returns one PE's area in µm² at the given clock.
+func PEArea(m Machine, ghz float64) float64 {
+	base := editAreaUm2At2GHz
+	switch m {
+	case ScoringPE:
+		base = tbAreaUm2At2GHz * scoringAreaScale
+	case TracebackPE:
+		base = tbAreaUm2At2GHz
+	}
+	if ghz <= kneeGHz {
+		// Below the knee, relaxed timing lets synthesis shrink gates
+		// mildly; model a gentle slope toward a floor.
+		return base * (0.85 + 0.15*ghz/kneeGHz)
+	}
+	d := ghz - kneeGHz
+	return base * (1 + kUp*d*d)
+}
+
+// PEPower returns one PE's power in µW at the given clock: dynamic power
+// scales with frequency and with the upsized capacitance.
+func PEPower(m Machine, ghz float64) float64 {
+	base := editPowerUwAt2GHz
+	switch m {
+	case ScoringPE:
+		base = tbPowerUwAt2GHz * scoringPowerScale
+	case TracebackPE:
+		base = tbPowerUwAt2GHz
+	}
+	sizing := PEArea(m, ghz) / PEArea(m, kneeGHz)
+	leak := 0.08 * base * sizing
+	return base*(ghz/kneeGHz)*sizing + leak
+}
+
+// NumPEs returns the PE count of a SillaX machine with edit bound k
+// (the paper counts the full (K+1)² grid of grouped units).
+func NumPEs(k int) int { return (k + 1) * (k + 1) }
+
+// MachineArea returns the machine area in mm².
+func MachineArea(m Machine, k int, ghz float64) float64 {
+	return PEArea(m, ghz) * float64(NumPEs(k)) / 1e6
+}
+
+// MachinePower returns the machine power in W.
+func MachinePower(m Machine, k int, ghz float64) float64 {
+	return PEPower(m, ghz) * float64(NumPEs(k)) / 1e6
+}
+
+// SweepPoint is one sample of the Fig 12 frequency sweep.
+type SweepPoint struct {
+	GHz     float64
+	AreaUm2 float64 // per PE
+	PowerUw float64 // per PE
+	Optimal bool    // the paper highlights 2 GHz as the inflection point
+}
+
+// FrequencySweep reproduces a Fig 12 series.
+func FrequencySweep(m Machine, fmin, fmax, step float64) []SweepPoint {
+	var out []SweepPoint
+	for f := fmin; f <= fmax+1e-9; f += step {
+		out = append(out, SweepPoint{
+			GHz:     f,
+			AreaUm2: PEArea(m, f),
+			PowerUw: PEPower(m, f),
+			Optimal: math.Abs(f-kneeGHz) < step/2,
+		})
+	}
+	return out
+}
+
+// BandedSWPEAreaUm2 is the paper's figure for a banded Smith-Waterman PE
+// at 5 GHz (§VIII-C), 30x the Silla edit PE.
+const BandedSWPEAreaUm2 = 300.0

@@ -1,0 +1,97 @@
+package hw
+
+// PipelineProfile carries the per-read work coefficients measured on a
+// simulated workload (package core reports them); the throughput model
+// scales them to a paper-sized run. This replaces the paper's Ramulator +
+// synthesis performance model (§VII).
+type PipelineProfile struct {
+	ReadLen int
+	// ExactFraction of reads resolve through the exact-match fast path
+	// (~0.75 on real data per §V).
+	ExactFraction float64
+	// SeedingOpsPerReadSegment is the average index-table plus CAM
+	// operations one read costs in one segment (one op per lane cycle).
+	SeedingOpsPerReadSegment float64
+	// ExtensionsPerRead is the average number of seed extensions a
+	// non-exact read triggers (summed over the segments that hit).
+	ExtensionsPerRead float64
+	// ExtensionCycles is the average SillaX lane cycles per extension
+	// (all five phases plus re-runs).
+	ExtensionCycles float64
+}
+
+// ThroughputReport is the Fig 15a model output.
+type ThroughputReport struct {
+	ReadsPerSec float64
+	// Component times for one full workload, seconds.
+	SeedingSec, ExtensionSec, TableLoadSec, ReadLoadSec, TotalSec float64
+	// Bottleneck names the limiting component.
+	Bottleneck string
+}
+
+// Throughput evaluates the pipeline model for totalReads reads.
+// Seeding lanes, SillaX lanes and DRAM streaming overlap (§VI processes
+// segments as a pipeline), so total time is the maximum of the compute
+// components plus the unhidden part of memory streaming.
+func (c ChipConfig) Throughput(p PipelineProfile, totalReads float64) ThroughputReport {
+	hz := c.ClockGHz * 1e9
+	segs := float64(c.SegmentCount)
+
+	// Every read visits every segment's tables (reads are re-seeded per
+	// segment; most segments reject a read after a handful of empty
+	// index lookups, which the measured coefficient captures).
+	seedOps := totalReads * segs * p.SeedingOpsPerReadSegment
+	seedingSec := seedOps / (float64(c.SeedingLanes) * hz)
+
+	extOps := totalReads * (1 - p.ExactFraction) * p.ExtensionsPerRead * p.ExtensionCycles
+	extensionSec := extOps / (float64(c.SillaXLanes) * hz)
+
+	bw := float64(c.DDRChannels) * c.DDRGBps * 1e9
+	// Before each segment its full table set — 48 MB index, 18 MB
+	// positions, ~1.5 MB reference slice — streams in over the eight
+	// DDR4 channels (§VI: spatially co-located, so streaming is
+	// bandwidth-bound).
+	perSegmentBytes := (c.IndexTableMB+c.PositionTableMB)*1e6 + 1.5e6
+	tableLoadSec := segs * perSegmentBytes / bw
+
+	// Reads stream once per segment epoch, 2-bit packed.
+	readBytes := totalReads * float64(p.ReadLen) / 4 * segs
+	readLoadSec := readBytes / bw
+
+	compute := seedingSec
+	bottleneck := "seeding"
+	if extensionSec > compute {
+		compute, bottleneck = extensionSec, "extension"
+	}
+	mem := tableLoadSec + readLoadSec
+	total := compute
+	if mem > compute {
+		total, bottleneck = mem, "memory"
+	}
+	// Staging slack: segment turnaround cannot fully hide the first and
+	// last epochs; charge 10% of the unoverlapped smaller component.
+	small := mem
+	if compute < mem {
+		small = compute
+	}
+	total += 0.1 * small
+
+	return ThroughputReport{
+		ReadsPerSec:  totalReads / total,
+		SeedingSec:   seedingSec,
+		ExtensionSec: extensionSec,
+		TableLoadSec: tableLoadSec,
+		ReadLoadSec:  readLoadSec,
+		TotalSec:     total,
+		Bottleneck:   bottleneck,
+	}
+}
+
+// SillaXRawThroughput returns the Fig 14 model: extensions (hits) per
+// second for all SillaX lanes given the average cycles per extension.
+func (c ChipConfig) SillaXRawThroughput(extensionCycles float64) float64 {
+	if extensionCycles <= 0 {
+		return 0
+	}
+	return float64(c.SillaXLanes) * c.ClockGHz * 1e9 / extensionCycles
+}

@@ -1,0 +1,133 @@
+package seed
+
+import "sort"
+
+// CAM models the 512-entry content-addressable memory each seeding lane
+// uses to intersect hit sets (§V). It tracks the lookup counts that Fig 16b
+// reports. The stored set is the current candidate hits; intersection
+// probes one incoming value per lookup.
+type CAM struct {
+	size    int
+	entries map[int32]struct{}
+
+	// Stats accumulated across operations (reset with ResetStats).
+	Lookups  int // associative probes
+	Writes   int // entry loads
+	Overflow int // times a set larger than the CAM had to be handled
+}
+
+// NewCAM builds a CAM with the given capacity (512 in GenAx).
+func NewCAM(size int) *CAM {
+	if size < 1 {
+		size = 1
+	}
+	hint := size
+	if hint > 4096 {
+		// Cap the map pre-allocation: experiment configs use a huge
+		// logical capacity to disable the binary-search fallback.
+		hint = 4096
+	}
+	return &CAM{size: size, entries: make(map[int32]struct{}, hint)}
+}
+
+// Size returns the capacity.
+func (c *CAM) Size() int { return c.size }
+
+// ResetStats clears the counters.
+func (c *CAM) ResetStats() { c.Lookups, c.Writes, c.Overflow = 0, 0, 0 }
+
+// Load replaces the stored set with vals. It reports false (and counts an
+// overflow) when vals exceeds capacity — callers then fall back to binary
+// search on the sorted position table.
+func (c *CAM) Load(vals []int32) bool {
+	if len(vals) > c.size {
+		c.Overflow++
+		return false
+	}
+	clear(c.entries)
+	for _, v := range vals {
+		c.entries[v] = struct{}{}
+	}
+	c.Writes += len(vals)
+	return true
+}
+
+// IntersectProbe probes every incoming value against the stored set and
+// returns the matches (one CAM lookup each).
+func (c *CAM) IntersectProbe(incoming []int32) []int32 {
+	c.Lookups += len(incoming)
+	var out []int32
+	for _, v := range incoming {
+		if _, ok := c.entries[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BinaryCost returns the modelled probe cost of IntersectBinary on the
+// given set sizes: ceil(log2 nHits) probes per candidate.
+func BinaryCost(nCur, nHits int) int {
+	if nHits == 0 || nCur == 0 {
+		return 0
+	}
+	logN := 1
+	for n := nHits; n > 1; n >>= 1 {
+		logN++
+	}
+	return nCur * logN
+}
+
+// IntersectBinary intersects the stored candidate set cur against a large
+// sorted hit list by binary search (§V optimization two: position tables
+// are sorted offline, so oversized sets cost log time instead of a full
+// CAM load). The lookup counter charges ceil(log2 n) probes per candidate.
+func (c *CAM) IntersectBinary(cur []int32, sortedHits []int32) []int32 {
+	if len(sortedHits) == 0 || len(cur) == 0 {
+		return nil
+	}
+	c.Lookups += BinaryCost(len(cur), len(sortedHits))
+	var out []int32
+	for _, v := range cur {
+		i := sort.Search(len(sortedHits), func(j int) bool { return sortedHits[j] >= v })
+		if i < len(sortedHits) && sortedHits[i] == v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IntersectChunked is the baseline without binary search when neither set
+// fits the CAM: the incoming list streams through in CAM-sized chunks and
+// the candidates probe every chunk. It is what forces the §V binary-search
+// optimization — the cost is len(cur) probes per chunk plus the loads.
+func (c *CAM) IntersectChunked(cur []int32, incoming []int32) []int32 {
+	if len(cur) == 0 || len(incoming) == 0 {
+		return nil
+	}
+	matched := make(map[int32]struct{})
+	for lo := 0; lo < len(incoming); lo += c.size {
+		hi := lo + c.size
+		if hi > len(incoming) {
+			hi = len(incoming)
+		}
+		clear(c.entries)
+		for _, v := range incoming[lo:hi] {
+			c.entries[v] = struct{}{}
+		}
+		c.Writes += hi - lo
+		c.Lookups += len(cur)
+		for _, v := range cur {
+			if _, ok := c.entries[v]; ok {
+				matched[v] = struct{}{}
+			}
+		}
+	}
+	var out []int32
+	for _, v := range cur { // preserve sorted order of cur
+		if _, ok := matched[v]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package seed models the GenAx seeding accelerator (§V): per-segment
+// k-mer index and position tables sized for on-chip SRAM, a 512-entry CAM
+// per lane for hit-set intersection, and the RMEM/SMEM engine with the
+// paper's four optimizations — SMEM filtering, binary extension, low-stride
+// probing, and the exact-match fast path.
+package seed
+
+import (
+	"fmt"
+
+	"genax/internal/dna"
+)
+
+// SegmentIndex is the index of one genome segment: for every k-mer, the
+// sorted list of positions where it occurs. The paper streams one such
+// pair of tables (48 MB index + 18 MB positions for k=12) into on-chip
+// SRAM per segment.
+type SegmentIndex struct {
+	// ID is the segment number; Offset its start in the global reference.
+	ID     int
+	Offset int
+	// Ref is the segment's reference slice (including overlap margin).
+	Ref dna.Seq
+
+	codec *dna.KmerCodec
+	// start[km] .. start[km+1] delimit positions of k-mer km.
+	start     []int32
+	positions []int32
+}
+
+// BuildSegmentIndex indexes ref (one segment) with k-mer length k.
+func BuildSegmentIndex(ref dna.Seq, id, offset, k int) (*SegmentIndex, error) {
+	codec, err := dna.NewKmerCodec(k)
+	if err != nil {
+		return nil, err
+	}
+	si := &SegmentIndex{ID: id, Offset: offset, Ref: ref, codec: codec}
+	numKmers := codec.NumKmers()
+	counts := make([]int32, numKmers+1)
+	n := len(ref) - k + 1
+	if n < 0 {
+		n = 0
+	}
+	if n > 0 {
+		km, _ := codec.Encode(ref, 0)
+		counts[km+1]++
+		for p := 1; p < n; p++ {
+			km = codec.Roll(km, ref[p+k-1])
+			counts[km+1]++
+		}
+	}
+	for i := 1; i <= numKmers; i++ {
+		counts[i] += counts[i-1]
+	}
+	si.start = counts
+	si.positions = make([]int32, n)
+	fill := make([]int32, numKmers)
+	if n > 0 {
+		km, _ := codec.Encode(ref, 0)
+		si.positions[si.start[km]+fill[km]] = 0
+		fill[km]++
+		for p := 1; p < n; p++ {
+			km = codec.Roll(km, ref[p+k-1])
+			si.positions[si.start[km]+fill[km]] = int32(p)
+			fill[km]++
+		}
+	}
+	return si, nil
+}
+
+// K returns the k-mer length.
+func (si *SegmentIndex) K() int { return si.codec.K() }
+
+// Lookup returns the sorted (ascending) local positions of km. The slice
+// aliases the position table; callers must not mutate it.
+func (si *SegmentIndex) Lookup(km dna.Kmer) []int32 {
+	return si.positions[si.start[km]:si.start[km+1]]
+}
+
+// LookupAt encodes the k-mer of read at pos and returns its hits. ok is
+// false when the window does not fit in the read.
+func (si *SegmentIndex) LookupAt(read dna.Seq, pos int) (hits []int32, ok bool) {
+	km, ok := si.codec.Encode(read, pos)
+	if !ok {
+		return nil, false
+	}
+	return si.Lookup(km), true
+}
+
+// IndexTableBytes returns the modelled SRAM footprint of the index table
+// (one 4-byte offset per k-mer), and PositionTableBytes that of the
+// position list — the quantities Table II charges to on-chip SRAM.
+func (si *SegmentIndex) IndexTableBytes() int { return 4 * (si.codec.NumKmers() + 1) }
+
+// PositionTableBytes returns the position-table footprint.
+func (si *SegmentIndex) PositionTableBytes() int { return 4 * len(si.positions) }
+
+// SegmentedIndex is the whole-genome structure: the reference cut into
+// fixed-size segments (512 for a human genome in §VI) with enough overlap
+// that any read-length window lies wholly inside at least one segment.
+type SegmentedIndex struct {
+	RefLen  int
+	SegLen  int
+	Overlap int
+	Samples []*SegmentIndex
+}
+
+// BuildSegmentedIndex cuts ref into segments of segLen bases plus overlap
+// and indexes each. overlap must cover the longest read plus the edit
+// bound so no alignment is lost at a boundary.
+func BuildSegmentedIndex(ref dna.Seq, segLen, overlap, k int) (*SegmentedIndex, error) {
+	if segLen <= 0 {
+		return nil, fmt.Errorf("seed: segment length %d must be positive", segLen)
+	}
+	if overlap < 0 {
+		return nil, fmt.Errorf("seed: negative overlap %d", overlap)
+	}
+	sx := &SegmentedIndex{RefLen: len(ref), SegLen: segLen, Overlap: overlap}
+	for off, id := 0, 0; off < len(ref); off, id = off+segLen, id+1 {
+		end := off + segLen + overlap
+		if end > len(ref) {
+			end = len(ref)
+		}
+		si, err := BuildSegmentIndex(ref[off:end], id, off, k)
+		if err != nil {
+			return nil, err
+		}
+		sx.Samples = append(sx.Samples, si)
+		if end == len(ref) && off+segLen >= len(ref) {
+			break
+		}
+	}
+	return sx, nil
+}
+
+// NumSegments returns the segment count.
+func (sx *SegmentedIndex) NumSegments() int { return len(sx.Samples) }

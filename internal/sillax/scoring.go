@@ -1,0 +1,230 @@
+package sillax
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// neg is the "register empty" value; far enough from the int32 edge that
+// subtracting penalties cannot wrap.
+const neg int32 = -1 << 29
+
+// ExtendResult is the outcome of one seed extension on the scoring machine.
+type ExtendResult struct {
+	// Score is the best clipped extension score (>= 0; zero means the
+	// whole query is soft-clipped).
+	Score int
+	// QueryLen and RefLen are the prefix lengths consumed by the
+	// best-scoring extension.
+	QueryLen, RefLen int
+	// Cycles is the architectural cycle count: the streaming phase plus
+	// the K-cycle best-score back-propagation of §IV-B.
+	Cycles int
+}
+
+// ScoringMachine is the SillaX scoring machine (§IV-B): the edit machine
+// grid where every PE carries score registers (Fig 7) and gap-open versus
+// gap-extend paths are kept apart for one cycle ("delayed merging", Fig 8)
+// so that affine gap penalties are applied exactly. Clipping is supported
+// by per-state best registers whose maximum is collected in a back-
+// propagation phase after the strings have streamed through.
+//
+// Not safe for concurrent use; allocate one per lane.
+type ScoringMachine struct {
+	k  int
+	w  int
+	sc align.Scoring
+
+	// Score registers per regular state: m (closed: last op match/sub),
+	// iv (open insertion), dv (open deletion); layers 0 and 1; wt is the
+	// wait-state score buffer of the collapsed third dimension.
+	m0, i0, d0 []int32
+	m1, i1, d1 []int32
+	wt         []int32
+	// Double buffers.
+	nm0, ni0, nd0 []int32
+	nm1, ni1, nd1 []int32
+	nwt           []int32
+
+	// Cycles of the last Extend call.
+	Cycles int
+}
+
+// NewScoringMachine builds a scoring machine with edit bound k.
+func NewScoringMachine(k int, sc align.Scoring) *ScoringMachine {
+	if k < 0 {
+		panic("sillax: negative edit bound")
+	}
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	w := k + 1
+	n := w * w
+	mk := func() []int32 { return make([]int32, n) }
+	return &ScoringMachine{
+		k: k, w: w, sc: sc,
+		m0: mk(), i0: mk(), d0: mk(), m1: mk(), i1: mk(), d1: mk(), wt: mk(),
+		nm0: mk(), ni0: mk(), nd0: mk(), nm1: mk(), ni1: mk(), nd1: mk(), nwt: mk(),
+	}
+}
+
+// K returns the edit bound.
+func (m *ScoringMachine) K() int { return m.k }
+
+func (m *ScoringMachine) reset() {
+	for i := range m.m0 {
+		m.m0[i], m.i0[i], m.d0[i] = neg, neg, neg
+		m.m1[i], m.i1[i], m.d1[i] = neg, neg, neg
+		m.wt[i] = neg
+		m.nm0[i], m.ni0[i], m.nd0[i] = neg, neg, neg
+		m.nm1[i], m.ni1[i], m.nd1[i] = neg, neg, neg
+		m.nwt[i] = neg
+	}
+	m.m0[0] = 0
+	m.Cycles = 0
+}
+
+func max3(a, b, c int32) int32 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// Extend streams ref and query through the machine anchored at position 0
+// of both and returns the best clipped extension score — the hardware twin
+// of BWA-MEM's seed-extension with clipping.
+func (m *ScoringMachine) Extend(ref, query dna.Seq) ExtendResult {
+	k, w := m.k, m.w
+	n, q2 := len(ref), len(query)
+	m.reset()
+	a := int32(m.sc.Match)
+	b := int32(m.sc.Mismatch)
+	open := int32(m.sc.GapOpen + m.sc.GapExtend)
+	ext := int32(m.sc.GapExtend)
+
+	best := int32(0)
+	bestI, bestD, bestCycle := 0, 0, 0
+
+	maxCycle := n + k
+	if q2+k > maxCycle {
+		maxCycle = q2 + k
+	}
+	// Streaming bound: past max(n,q)+... nothing new can be consumed, but
+	// states may still drift for a few cycles; the triangle caps i+d at k
+	// so maxCycle covers every live state.
+	for c := 0; c <= maxCycle; c++ {
+		any := false
+		for i := 0; i <= k; i++ {
+			riPos := c - i
+			for d := 0; d+i <= k; d++ {
+				idx := i*w + d
+				// Wait-state delivery: the merged two-substitution path
+				// arrives closed at layer 0 of (i+1,d+1).
+				if wv := m.wt[idx]; wv > neg {
+					ti := (i+1)*w + d + 1
+					if wv > m.nm0[ti] {
+						m.nm0[ti] = wv
+						any = true
+					}
+				}
+				qdPos := c - d
+				match := riPos >= 0 && riPos < len(ref) && qdPos >= 0 && qdPos < len(query) && ref[riPos] == query[qdPos]
+				for layer := 0; layer < 2; layer++ {
+					var mv, iv, dv int32
+					var nm, ni, nd []int32
+					if layer == 0 {
+						mv, iv, dv = m.m0[idx], m.i0[idx], m.d0[idx]
+						nm, ni, nd = m.nm0, m.ni0, m.nd0
+					} else {
+						mv, iv, dv = m.m1[idx], m.i1[idx], m.d1[idx]
+						nm, ni, nd = m.nm1, m.ni1, m.nd1
+					}
+					if mv == neg && iv == neg && dv == neg {
+						continue
+					}
+					any = true
+					top := max3(mv, iv, dv)
+					if match {
+						// Taking the match closes every path; the state's
+						// clipping register sees the new closed score.
+						if v := top + a; v > nm[idx] {
+							nm[idx] = v
+							nv := v
+							if nv > best {
+								best, bestI, bestD, bestCycle = nv, i, d, c+1
+							}
+						}
+					} else if top > neg {
+						// Substitution branch (the third dimension).
+						if layer == 0 {
+							if i+d+1 <= k {
+								if v := top - b; v > m.nm1[idx] {
+									m.nm1[idx] = v
+									if v > best {
+										best, bestI, bestD, bestCycle = v, i, d, c+1
+									}
+								}
+							}
+						} else if i+d+2 <= k {
+							if v := top - b; v > m.nwt[idx] {
+								m.nwt[idx] = v
+								// The wait value becomes a closed score at
+								// (i+1,d+1) next cycle; account for best
+								// there (same score, same clip point).
+								if v > best {
+									best, bestI, bestD, bestCycle = v, i+1, d+1, c+2
+								}
+							}
+						}
+					}
+					// Gap branches fire even on a match (§IV-B:
+					// "conservatively activates the outgoing insertion and
+					// deletion transitions"), with delayed merging: open
+					// paths extend cheaply, closed ones pay the open cost.
+					if i+1+d+layer <= k {
+						v := max3(mv-open, dv-open, iv-ext)
+						ti := (i+1)*w + d
+						if v > ni[ti] {
+							ni[ti] = v
+						}
+					}
+					if i+d+1+layer <= k {
+						v := max3(mv-open, iv-open, dv-ext)
+						ti := idx + 1
+						if v > nd[ti] {
+							nd[ti] = v
+						}
+					}
+				}
+			}
+		}
+		m.m0, m.nm0 = m.nm0, m.m0
+		m.i0, m.ni0 = m.ni0, m.i0
+		m.d0, m.nd0 = m.nd0, m.d0
+		m.m1, m.nm1 = m.nm1, m.m1
+		m.i1, m.ni1 = m.ni1, m.i1
+		m.d1, m.nd1 = m.nd1, m.d1
+		m.wt, m.nwt = m.nwt, m.wt
+		for i := range m.nm0 {
+			m.nm0[i], m.ni0[i], m.nd0[i] = neg, neg, neg
+			m.nm1[i], m.ni1[i], m.nd1[i] = neg, neg, neg
+			m.nwt[i] = neg
+		}
+		if !any {
+			break
+		}
+	}
+	// Streaming phase plus the K-cycle back-propagation that funnels the
+	// per-state best registers to node (0,0|0).
+	m.Cycles = maxCycle + 1 + m.k
+	res := ExtendResult{Score: int(best), Cycles: m.Cycles}
+	if best > 0 {
+		res.QueryLen = bestCycle - bestD
+		res.RefLen = bestCycle - bestI
+	}
+	return res
+}

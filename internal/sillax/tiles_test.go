@@ -1,0 +1,122 @@
+package sillax
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComposeFourTilesDoubleK(t *testing.T) {
+	// Fig 10: four triangles — one full square plus the forward triangles
+	// of its right and lower neighbours — form a 2K+1 engine.
+	ta := NewTileArray(4, 2) // baseK=4, 2x2 slots
+	cm, err := ta.Compose(9) // 2*(4+1)-1
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	tiles := cm.Tiles()
+	if len(tiles) != 4 {
+		t.Fatalf("composed 2K engine uses %d triangles, want 4 (%v)", len(tiles), tiles)
+	}
+	want := map[string]bool{"(0,0)|0": true, "(0,0)|1": true, "(0,1)|0": true, "(1,0)|0": true}
+	for _, id := range tiles {
+		if !want[id.String()] {
+			t.Errorf("unexpected tile %v", id)
+		}
+	}
+	// The two remaining forward... flipped triangles stay free for
+	// independent K engines.
+	if free := ta.FreeTriangles(); free != 4 {
+		t.Errorf("free triangles = %d, want 4", free)
+	}
+}
+
+func TestComposedMatchesMonolithic(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	ta := NewTileArray(3, 2)
+	cm, err := ta.Compose(7)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	mono := NewEditMachine(7)
+	for trial := 0; trial < 200; trial++ {
+		x := randSeq(r, r.Intn(40))
+		y := mutate(r, x, r.Intn(9))
+		d1, ok1 := cm.Distance(x, y)
+		d2, ok2 := mono.Distance(x, y)
+		if ok1 != ok2 || (ok1 && d1 != d2) {
+			t.Fatalf("trial %d: composed (%d,%v) != monolithic (%d,%v)", trial, d1, ok1, d2, ok2)
+		}
+	}
+	if cm.MuxCrossings == 0 {
+		t.Error("composed engine reported no mux crossings")
+	}
+	if cm.Cycles() == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestComposeSingleTile(t *testing.T) {
+	ta := NewTileArray(5, 2)
+	cm, err := ta.Compose(5)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if len(cm.Tiles()) != 1 {
+		t.Errorf("K engine uses %d triangles, want 1", len(cm.Tiles()))
+	}
+	if cm.MuxCrossings != 0 {
+		// Single tile: count crossings anyway (none possible).
+		x := randSeq(rand.New(rand.NewSource(81)), 20)
+		cm.Distance(x, x)
+		if cm.MuxCrossings != 0 {
+			t.Errorf("single-tile engine crossed %d muxes", cm.MuxCrossings)
+		}
+	}
+}
+
+func TestComposeExhaustsDie(t *testing.T) {
+	ta := NewTileArray(2, 2)
+	// Eight triangles total. A 2K engine takes four.
+	if _, err := ta.Compose(5); err != nil {
+		t.Fatalf("first compose: %v", err)
+	}
+	// A second 2K engine needs (0,0)|0 again -> must fail.
+	if _, err := ta.Compose(5); err == nil {
+		t.Fatal("overlapping composition succeeded")
+	}
+	// But four independent K engines... only 4 triangles remain; each K
+	// engine needs the forward triangle of a distinct slot — of which
+	// (0,1)|1, (1,0)|1, (1,1)|0, (1,1)|1 remain; Compose(2) always asks
+	// for slot (0,0). So a fresh die supports it.
+	ta2 := NewTileArray(2, 2)
+	if _, err := ta2.Compose(2); err != nil {
+		t.Fatalf("K engine on fresh die: %v", err)
+	}
+}
+
+func TestComposeBeyondDie(t *testing.T) {
+	ta := NewTileArray(4, 2)
+	if _, err := ta.Compose(ta.MaxK() + 1); err == nil {
+		t.Error("composition beyond die maximum succeeded")
+	}
+	if ta.MaxK() != 9 {
+		t.Errorf("MaxK = %d, want 9", ta.MaxK())
+	}
+}
+
+func TestReleaseReturnsTiles(t *testing.T) {
+	ta := NewTileArray(3, 2)
+	cm, err := ta.Compose(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ta.FreeTriangles()
+	ta.Release(cm)
+	if got := ta.FreeTriangles(); got != before+4 {
+		t.Errorf("free after release = %d, want %d", got, before+4)
+	}
+	// Now the same composition succeeds again.
+	if _, err := ta.Compose(7); err != nil {
+		t.Errorf("recompose after release: %v", err)
+	}
+}

@@ -1,0 +1,359 @@
+package sillax
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// tnode is one step of a pointer trail. Nodes are immutable and shared
+// between paths, mirroring how the hardware chases 2-bit pointers: each
+// node remembers which state wrote it and when, so the model can detect
+// exactly the "broken pointer trail" events of §IV-C (a state's best
+// register overwritten after the winning path left it).
+type tnode struct {
+	prev  *tnode
+	op    align.Op
+	state int32 // state id: (i*w+d)*2 + layer
+	cycle int32 // cycle at which the register became live
+	score int32
+}
+
+// treg is a score register with its trail.
+type treg struct {
+	v  int32
+	nd *tnode
+}
+
+// nodeArena block-allocates trail nodes; Extend churns through hundreds of
+// thousands per read, and the arena is reset (not freed) between calls.
+// Nodes are therefore only valid until the next Extend.
+type nodeArena struct {
+	blocks [][]tnode
+	n      int
+}
+
+const arenaBlock = 1 << 14
+
+func (a *nodeArena) alloc(nd tnode) *tnode {
+	bi, off := a.n/arenaBlock, a.n%arenaBlock
+	if bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]tnode, arenaBlock))
+	}
+	p := &a.blocks[bi][off]
+	*p = nd
+	a.n++
+	return p
+}
+
+// TracebackResult is the outcome of one traced seed extension.
+type TracebackResult struct {
+	// Score is the best clipped extension score.
+	Score int
+	// Cigar is the full edit trace including the trailing soft clip.
+	Cigar align.Cigar
+	// QueryLen and RefLen are the consumed prefix lengths.
+	QueryLen, RefLen int
+	// Cycles is the architectural cycle count over all five phases,
+	// including re-execution after broken pointer trails.
+	Cycles int
+	// ReRuns is how many times the machine had to re-execute phase one
+	// because a greedy state had overwritten part of the winning trail.
+	ReRuns int
+	// ReRunCycles is the total cycles spent in those re-executions.
+	ReRunCycles int
+}
+
+// TracebackMachine extends the scoring machine with in-place traceback
+// (§IV-C): every PE keeps a 2-bit pointer, a compressed match count, its
+// best score and the cycle its best path left, and the controller re-runs
+// the string phase when a pointer trail turns out to be broken.
+//
+// Not safe for concurrent use; allocate one per lane.
+type TracebackMachine struct {
+	k  int
+	w  int
+	sc align.Scoring
+
+	m0, i0, d0    []treg
+	m1, i1, d1    []treg
+	wt            []treg
+	nm0, ni0, nd0 []treg
+	nm1, ni1, nd1 []treg
+	nwt           []treg
+
+	// Per-state pointer bookkeeping, indexed by state id. stBest is the
+	// best score the state has seen (its clipping register); stPtrEdge is
+	// its 2-bit traceback pointer — the edge of the last *incoming* score
+	// accepted as best (§IV-C). Self-match growth raises stBest but
+	// leaves the pointer alone. A trail entry is broken when the stored
+	// pointer no longer names the edge the winning path arrived by;
+	// same-edge overwrites are indel-placement ties that reconstruct an
+	// equally-scoring alignment (the tie-break variance of §VIII-A).
+	stBest    []int32
+	stPtrEdge []align.Op
+
+	// Cycles of the last Extend call (all five phases plus re-runs).
+	Cycles int
+
+	// lastBest retains the winning trail head of the last Extend call for
+	// white-box tests; it is invalidated by the next Extend.
+	lastBest *tnode
+
+	arena nodeArena
+}
+
+// NewTracebackMachine builds a traceback machine with edit bound k.
+func NewTracebackMachine(k int, sc align.Scoring) *TracebackMachine {
+	if k < 0 {
+		panic("sillax: negative edit bound")
+	}
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	w := k + 1
+	n := w * w
+	mk := func() []treg { return make([]treg, n) }
+	return &TracebackMachine{
+		k: k, w: w, sc: sc,
+		m0: mk(), i0: mk(), d0: mk(), m1: mk(), i1: mk(), d1: mk(), wt: mk(),
+		nm0: mk(), ni0: mk(), nd0: mk(), nm1: mk(), ni1: mk(), nd1: mk(), nwt: mk(),
+		stBest:    make([]int32, 2*n),
+		stPtrEdge: make([]align.Op, 2*n),
+	}
+}
+
+// K returns the edit bound.
+func (m *TracebackMachine) K() int { return m.k }
+
+func (m *TracebackMachine) reset() {
+	for i := range m.m0 {
+		empty := treg{v: neg}
+		m.m0[i], m.i0[i], m.d0[i] = empty, empty, empty
+		m.m1[i], m.i1[i], m.d1[i] = empty, empty, empty
+		m.wt[i] = empty
+		m.nm0[i], m.ni0[i], m.nd0[i] = empty, empty, empty
+		m.nm1[i], m.ni1[i], m.nd1[i] = empty, empty, empty
+		m.nwt[i] = empty
+	}
+	for i := range m.stBest {
+		m.stBest[i] = neg
+		m.stPtrEdge[i] = 0
+	}
+	m.m0[0] = treg{v: 0}
+	m.Cycles = 0
+	m.arena.n = 0
+}
+
+func best3(a, b, c treg) treg {
+	r := a
+	if b.v > r.v {
+		r = b
+	}
+	if c.v > r.v {
+		r = c
+	}
+	return r
+}
+
+// Extend runs a traced seed extension of query against ref, both anchored
+// at position 0, with clipping.
+func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
+	k, w := m.k, m.w
+	n, qn := len(ref), len(query)
+	m.reset()
+	a := int32(m.sc.Match)
+	b := int32(m.sc.Mismatch)
+	open := int32(m.sc.GapOpen + m.sc.GapExtend)
+	ext := int32(m.sc.GapExtend)
+
+	var bestNode *tnode
+	best := int32(0)
+	bestI, bestD, bestCycle := 0, 0, 0
+
+	maxCycle := n + k
+	if qn+k > maxCycle {
+		maxCycle = qn + k
+	}
+	for c := 0; c <= maxCycle; c++ {
+		any := false
+		for i := 0; i <= k; i++ {
+			riPos := c - i
+			for d := 0; d+i <= k; d++ {
+				idx := i*w + d
+				if wv := m.wt[idx]; wv.v > neg {
+					ti := (i+1)*w + d + 1
+					if wv.v > m.nm0[ti].v {
+						m.nm0[ti] = wv
+						m.noteBest(int32(ti*2), wv.v, align.OpMismatch, true)
+						any = true
+					}
+				}
+				qdPos := c - d
+				match := riPos >= 0 && riPos < n && qdPos >= 0 && qdPos < qn && ref[riPos] == query[qdPos]
+				for layer := 0; layer < 2; layer++ {
+					var mv, iv, dv treg
+					var nm, ni, nd []treg
+					if layer == 0 {
+						mv, iv, dv = m.m0[idx], m.i0[idx], m.d0[idx]
+						nm, ni, nd = m.nm0, m.ni0, m.nd0
+					} else {
+						mv, iv, dv = m.m1[idx], m.i1[idx], m.d1[idx]
+						nm, ni, nd = m.nm1, m.ni1, m.nd1
+					}
+					if mv.v == neg && iv.v == neg && dv.v == neg {
+						continue
+					}
+					any = true
+					top := best3(mv, iv, dv)
+					sid := int32(idx*2 + layer)
+					if match {
+						v := top.v + a
+						if v > nm[idx].v {
+							nm[idx] = treg{v: v, nd: m.arena.alloc(tnode{prev: top.nd, op: align.OpMatch, state: sid, cycle: int32(c + 1), score: v})}
+							m.noteBest(sid, v, align.OpMatch, false)
+							if v > best {
+								best, bestI, bestD, bestCycle = v, i, d, c+1
+								bestNode = nm[idx].nd
+							}
+						}
+					} else if top.v > neg {
+						if layer == 0 {
+							if i+d+1 <= k {
+								v := top.v - b
+								if v > m.nm1[idx].v {
+									m.nm1[idx] = treg{v: v, nd: m.arena.alloc(tnode{prev: top.nd, op: align.OpMismatch, state: int32(idx*2 + 1), cycle: int32(c + 1), score: v})}
+									m.noteBest(int32(idx*2+1), v, align.OpMismatch, true)
+									if v > best {
+										best, bestI, bestD, bestCycle = v, i, d, c+1
+										bestNode = m.nm1[idx].nd
+									}
+								}
+							}
+						} else if i+d+2 <= k {
+							v := top.v - b
+							if v > m.nwt[idx].v {
+								tid := int32(((i+1)*w + d + 1) * 2)
+								m.nwt[idx] = treg{v: v, nd: m.arena.alloc(tnode{prev: top.nd, op: align.OpMismatch, state: tid, cycle: int32(c + 2), score: v})}
+								if v > best {
+									best, bestI, bestD, bestCycle = v, i+1, d+1, c+2
+									bestNode = m.nwt[idx].nd
+								}
+							}
+						}
+					}
+					if i+1+d+layer <= k {
+						src := mv
+						src.v -= open
+						if dv.v-open > src.v {
+							src = dv
+							src.v = dv.v - open
+						}
+						if iv.v-ext > src.v {
+							src = iv
+							src.v = iv.v - ext
+						}
+						ti := (i+1)*w + d
+						if src.v > ni[ti].v {
+							ni[ti] = treg{v: src.v, nd: m.arena.alloc(tnode{prev: src.nd, op: align.OpIns, state: int32(ti*2 + layer), cycle: int32(c + 1), score: src.v})}
+							m.noteBest(int32(ti*2+layer), src.v, align.OpIns, true)
+						}
+					}
+					if i+d+1+layer <= k {
+						src := mv
+						src.v -= open
+						if iv.v-open > src.v {
+							src = iv
+							src.v = iv.v - open
+						}
+						if dv.v-ext > src.v {
+							src = dv
+							src.v = dv.v - ext
+						}
+						ti := idx + 1
+						if src.v > nd[ti].v {
+							nd[ti] = treg{v: src.v, nd: m.arena.alloc(tnode{prev: src.nd, op: align.OpDel, state: int32(ti*2 + layer), cycle: int32(c + 1), score: src.v})}
+							m.noteBest(int32(ti*2+layer), src.v, align.OpDel, true)
+						}
+					}
+				}
+			}
+		}
+		m.m0, m.nm0 = m.nm0, m.m0
+		m.i0, m.ni0 = m.ni0, m.i0
+		m.d0, m.nd0 = m.nd0, m.d0
+		m.m1, m.nm1 = m.nm1, m.m1
+		m.i1, m.ni1 = m.ni1, m.i1
+		m.d1, m.nd1 = m.nd1, m.d1
+		m.wt, m.nwt = m.nwt, m.wt
+		empty := treg{v: neg}
+		for i := range m.nm0 {
+			m.nm0[i], m.ni0[i], m.nd0[i] = empty, empty, empty
+			m.nm1[i], m.ni1[i], m.nd1[i] = empty, empty, empty
+			m.nwt[i] = empty
+		}
+		if !any {
+			break
+		}
+	}
+
+	phase1 := maxCycle + 1
+	res := TracebackResult{Score: int(best)}
+	// Phase 5 walk: collect ops from the winner back to the origin,
+	// detecting broken trails (§IV-C). A state's trail entry is broken
+	// when its best register was overwritten after the winning path left
+	// it; each break forces a re-run of phase one up to the departure
+	// cycle of that greedy state.
+	var rev align.Cigar
+	if tail := qn - (bestCycle - bestD); best > 0 && tail > 0 {
+		rev = rev.Append(align.OpClip, tail)
+	} else if best == 0 {
+		rev = rev.Append(align.OpClip, qn)
+	}
+	// Walking backward, the first node seen for a state is the visit's
+	// departure, the last its arrival. The trail at a state is intact iff
+	// the state's pointer still records this visit's arrival: changed
+	// later (greedy overwrite) or never accepted (our arrival lost to an
+	// older, then-better visit) both force a re-run up to the departure
+	// cycle of that greedy state.
+	var depCycle int32
+	lastState := int32(-1)
+	for nd := bestNode; nd != nil; nd = nd.prev {
+		rev = rev.Append(nd.op, 1)
+		if nd.state != lastState {
+			depCycle = nd.cycle
+			lastState = nd.state
+		}
+		arrival := nd.prev == nil || nd.prev.state != nd.state
+		if arrival && nd.state != 0 && m.stPtrEdge[nd.state] != nd.op {
+			res.ReRuns++
+			rerun := int(depCycle)
+			if rerun > phase1 {
+				rerun = phase1
+			}
+			res.ReRunCycles += rerun
+		}
+	}
+	m.lastBest = bestNode
+	res.Cigar = rev.Reverse()
+	if best > 0 {
+		res.QueryLen = bestCycle - bestD
+		res.RefLen = bestCycle - bestI
+	}
+	res.Cycles = phase1 + 4*m.k + res.ReRunCycles
+	m.Cycles = res.Cycles
+	return res
+}
+
+// noteBest updates the per-state best register. incoming marks writes that
+// arrive over an inter-state edge (gap step, substitution, wait delivery):
+// only those move the state's traceback pointer; self-match growth raises
+// the best score but the pointer — and the cycle register the controller
+// uses to reconstruct match counts — stay tied to the same visit.
+func (m *TracebackMachine) noteBest(state, v int32, edge align.Op, incoming bool) {
+	if v > m.stBest[state] {
+		m.stBest[state] = v
+		if incoming {
+			m.stPtrEdge[state] = edge
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/dna"
+	"genax/internal/sw"
+)
+
+func TestRandomGenome(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := RandomGenome(r, 10000)
+	if len(g) != 10000 {
+		t.Fatalf("length %d", len(g))
+	}
+	var counts [4]int
+	for _, b := range g {
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c < 2000 || c > 3000 {
+			t.Errorf("base %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func TestMakeDonorNoVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ref := RandomGenome(r, 5000)
+	d := MakeDonor(r, ref, VariantProfile{})
+	if !d.Seq.Equal(ref) {
+		t.Error("zero-rate donor differs from reference")
+	}
+	if len(d.Variants) != 0 {
+		t.Errorf("%d variants injected at zero rate", len(d.Variants))
+	}
+	for i := 0; i < len(ref); i += 97 {
+		if d.RefPos(i) != i {
+			t.Fatalf("RefPos(%d) = %d", i, d.RefPos(i))
+		}
+	}
+}
+
+func TestMakeDonorVariantsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ref := RandomGenome(r, 50000)
+	d := MakeDonor(r, ref, VariantProfile{SNPRate: 0.01, IndelRate: 0.002, MaxIndel: 6})
+	if len(d.Variants) == 0 {
+		t.Fatal("no variants at high rates")
+	}
+	// The edit distance between donor and ref must be explained by the
+	// variant weights.
+	weight := 0
+	for _, v := range d.Variants {
+		switch v.Type {
+		case SNP:
+			weight++
+		case Insertion:
+			weight += len(v.Alt)
+		case Deletion:
+			weight += v.DelLen
+		}
+	}
+	dist := sw.MyersDistance(ref, d.Seq)
+	if dist > weight {
+		t.Errorf("edit distance %d exceeds variant weight %d", dist, weight)
+	}
+	if dist == 0 {
+		t.Error("donor identical to reference despite variants")
+	}
+	// Coordinate map: donor base maps to a ref base that is equal unless
+	// a SNP/insertion covers it; sample and require most to match.
+	same := 0
+	for i := 0; i < len(d.Seq); i += 13 {
+		rp := d.RefPos(i)
+		if rp >= 0 && rp < len(ref) && ref[rp] == d.Seq[i] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(d.Seq)/13); frac < 0.95 {
+		t.Errorf("only %.2f%% of sampled donor bases map to equal ref bases", 100*frac)
+	}
+}
+
+func TestDonorRefPosBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	d := MakeDonor(r, RandomGenome(r, 100), VariantProfile{})
+	if d.RefPos(-1) != -1 || d.RefPos(len(d.Seq)) != -1 {
+		t.Error("out-of-range RefPos did not return -1")
+	}
+}
+
+func TestSimulateReads(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ref := RandomGenome(r, 20000)
+	donor := MakeDonor(r, ref, DefaultVariantProfile())
+	reads := Simulate(r, donor, ReadProfile{Length: 101, Coverage: 10, ErrorRate: 0.02, ReverseFraction: 0.5})
+	wantN := int(10 * float64(len(donor.Seq)) / 101)
+	if len(reads) != wantN {
+		t.Fatalf("%d reads, want %d", len(reads), wantN)
+	}
+	nRev, nErr := 0, 0
+	for _, rd := range reads {
+		if len(rd.Seq) != 101 {
+			t.Fatalf("read length %d", len(rd.Seq))
+		}
+		if rd.TruePos < 0 || rd.TruePos >= len(ref) {
+			t.Fatalf("TruePos %d out of range", rd.TruePos)
+		}
+		if rd.Reverse {
+			nRev++
+		}
+		nErr += rd.Errors
+	}
+	if nRev < len(reads)/3 || nRev > 2*len(reads)/3 {
+		t.Errorf("reverse fraction %d/%d far from half", nRev, len(reads))
+	}
+	avgErr := float64(nErr) / float64(len(reads))
+	if avgErr < 1.0 || avgErr > 3.5 { // 2% of 101 ~= 2 per read
+		t.Errorf("average errors per read %.2f, expected ~2", avgErr)
+	}
+}
+
+func TestSimulatedReadAlignsNearTruePos(t *testing.T) {
+	// An error-free forward read from a variant-free donor must match the
+	// reference exactly at TruePos.
+	r := rand.New(rand.NewSource(6))
+	ref := RandomGenome(r, 20000)
+	donor := MakeDonor(r, ref, VariantProfile{})
+	reads := Simulate(r, donor, ReadProfile{Length: 101, Coverage: 2, ErrorRate: 0, ReverseFraction: 0})
+	for _, rd := range reads[:20] {
+		if !rd.Seq.Equal(ref[rd.TruePos : rd.TruePos+101]) {
+			t.Fatalf("read %s does not match reference at TruePos", rd.ID)
+		}
+	}
+}
+
+func TestReverseReadsAreRevComp(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ref := RandomGenome(r, 20000)
+	donor := MakeDonor(r, ref, VariantProfile{})
+	reads := Simulate(r, donor, ReadProfile{Length: 50, Coverage: 2, ErrorRate: 0, ReverseFraction: 1})
+	for _, rd := range reads[:20] {
+		if !rd.Reverse {
+			t.Fatal("expected reverse read")
+		}
+		if !rd.Seq.RevComp().Equal(ref[rd.TruePos : rd.TruePos+50]) {
+			t.Fatalf("revcomp of read %s does not match reference", rd.ID)
+		}
+	}
+}
+
+func TestSimulateEmptyAndShort(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	donor := MakeDonor(r, RandomGenome(r, 50), VariantProfile{})
+	if got := Simulate(r, donor, ReadProfile{Length: 101, Coverage: 5}); got != nil {
+		t.Errorf("donor shorter than read length produced %d reads", len(got))
+	}
+	if got := Simulate(r, donor, ReadProfile{Length: 0, Coverage: 5}); got != nil {
+		t.Error("zero read length produced reads")
+	}
+}
+
+func TestNewWorkloadDeterministic(t *testing.T) {
+	w1 := NewWorkload(42, 5000, DefaultVariantProfile(), ReadProfile{Length: 50, Coverage: 2, ErrorRate: 0.01})
+	w2 := NewWorkload(42, 5000, DefaultVariantProfile(), ReadProfile{Length: 50, Coverage: 2, ErrorRate: 0.01})
+	if !w1.Ref.Equal(w2.Ref) || len(w1.Reads) != len(w2.Reads) {
+		t.Fatal("workload not deterministic for equal seeds")
+	}
+	for i := range w1.Reads {
+		if !w1.Reads[i].Seq.Equal(w2.Reads[i].Seq) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+	var _ dna.Seq = w1.Donor.Seq
+}

@@ -1,0 +1,135 @@
+package sw
+
+import (
+	"fmt"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// Hirschberg computes an optimal global alignment with traceback in
+// linear space by divide and conquer — the algorithm §VIII-C cites as the
+// software route to O(K)-space traceback ("Hirschberg's algorithm reduces
+// space to O(K), but increases time"), against which SillaX's O(K²)-space
+// in-place traceback is positioned. As in Hirschberg's original
+// formulation, gap costs are linear (per-base, no opening charge):
+// construct it with a Scoring whose GapOpen is zero.
+type Hirschberg struct {
+	sc align.Scoring
+	// rows of scratch reused across calls (not concurrency-safe).
+	fwd, bwd, tmp []int32
+}
+
+// NewHirschberg returns a linear-space global aligner. It panics if the
+// scoring scheme has a non-zero gap-open cost, which plain Hirschberg
+// cannot split exactly (that requires Myers-Miller boundary bookkeeping).
+func NewHirschberg(sc align.Scoring) *Hirschberg {
+	if sc.GapOpen != 0 {
+		panic(fmt.Sprintf("sw: Hirschberg requires linear gap costs, got open=%d", sc.GapOpen))
+	}
+	return &Hirschberg{sc: sc}
+}
+
+// Align returns an optimal global alignment of query against ref in
+// O(len(query)) space (beyond the output trace).
+func (hb *Hirschberg) Align(ref, query dna.Seq) align.Result {
+	cig := hb.solve(ref, query)
+	return align.Result{Score: cig.Score(hb.sc), Cigar: cig}
+}
+
+// lastRow fills dst with the final NW row of ref x query under linear
+// gap costs.
+func (hb *Hirschberg) lastRow(ref, query dna.Seq, dst []int32) {
+	gap := int32(hb.sc.GapExtend)
+	match := int32(hb.sc.Match)
+	mismatch := int32(hb.sc.Mismatch)
+	m := len(query)
+	for j := 0; j <= m; j++ {
+		dst[j] = -gap * int32(j)
+	}
+	for i := 1; i <= len(ref); i++ {
+		diag := dst[0]
+		dst[0] = -gap * int32(i)
+		for j := 1; j <= m; j++ {
+			var sub int32
+			if ref[i-1] == query[j-1] {
+				sub = diag + match
+			} else {
+				sub = diag - mismatch
+			}
+			best := sub
+			if v := dst[j] - gap; v > best { // deletion (consume ref)
+				best = v
+			}
+			if v := dst[j-1] - gap; v > best { // insertion (consume query)
+				best = v
+			}
+			diag = dst[j]
+			dst[j] = best
+		}
+	}
+}
+
+func (hb *Hirschberg) solve(ref, query dna.Seq) align.Cigar {
+	n, m := len(ref), len(query)
+	var out align.Cigar
+	switch {
+	case n == 0:
+		return out.Append(align.OpIns, m)
+	case m == 0:
+		return out.Append(align.OpDel, n)
+	case n == 1:
+		return hb.solveBase(ref[0], query)
+	}
+	mid := n / 2
+	if cap(hb.fwd) < m+1 {
+		hb.fwd = make([]int32, m+1)
+		hb.bwd = make([]int32, m+1)
+	}
+	fwd := hb.fwd[:m+1]
+	bwd := hb.bwd[:m+1]
+	hb.lastRow(ref[:mid], query, fwd)
+	hb.lastRow(ref[mid:].Reverse(), query.Reverse(), bwd)
+	bestJ := 0
+	best := int32(-1 << 30)
+	for j := 0; j <= m; j++ {
+		if s := fwd[j] + bwd[m-j]; s > best {
+			best, bestJ = s, j
+		}
+	}
+	// The recursion reuses the scratch rows, so split before descending.
+	left := hb.solve(ref[:mid], query[:bestJ])
+	right := hb.solve(ref[mid:], query[bestJ:])
+	return left.Concat(right)
+}
+
+// solveBase aligns a single reference base against the query optimally.
+func (hb *Hirschberg) solveBase(r dna.Base, query dna.Seq) align.Cigar {
+	gap := hb.sc.GapExtend
+	// Aligning ref to query[at] replaces one deletion and one insertion
+	// with a diagonal step: gain = s(at) + 2*gap over deleting the base.
+	bestAt, bestGain := -1, 0
+	for at, q := range query {
+		var gain int
+		if q == r {
+			gain = hb.sc.Match + 2*gap
+		} else {
+			gain = -hb.sc.Mismatch + 2*gap
+		}
+		if gain > bestGain {
+			bestAt, bestGain = at, gain
+		}
+	}
+	var out align.Cigar
+	if bestAt < 0 {
+		out = out.Append(align.OpDel, 1)
+		return out.Append(align.OpIns, len(query))
+	}
+	out = out.Append(align.OpIns, bestAt)
+	if query[bestAt] == r {
+		out = out.Append(align.OpMatch, 1)
+	} else {
+		out = out.Append(align.OpMismatch, 1)
+	}
+	return out.Append(align.OpIns, len(query)-bestAt-1)
+}

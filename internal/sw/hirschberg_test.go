@@ -1,0 +1,93 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+func linearScoring() align.Scoring {
+	return align.Scoring{Match: 1, Mismatch: 4, GapOpen: 0, GapExtend: 2}
+}
+
+func TestHirschbergPanicsOnAffine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("affine scoring accepted")
+		}
+	}()
+	NewHirschberg(align.BWAMEMDefaults())
+}
+
+func TestHirschbergMatchesGotoh(t *testing.T) {
+	sc := linearScoring()
+	hb := NewHirschberg(sc)
+	full := NewAligner(sc)
+	r := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 300; trial++ {
+		ref := randSeq(r, r.Intn(60))
+		query := mutate(r, ref, r.Intn(8))
+		want := full.Align(ref, query, Global)
+		got := hb.Align(ref, query)
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: Hirschberg %d, Gotoh %d (ref=%v query=%v)", trial, got.Score, want.Score, ref, query)
+		}
+		if err := got.Cigar.Validate(ref, query); err != nil {
+			t.Fatalf("trial %d: invalid cigar %v: %v", trial, got.Cigar, err)
+		}
+		if got.Cigar.RefLen() != len(ref) {
+			t.Fatalf("trial %d: global cigar consumes %d/%d ref bases", trial, got.Cigar.RefLen(), len(ref))
+		}
+	}
+}
+
+func TestHirschbergUnitEditDistance(t *testing.T) {
+	hb := NewHirschberg(align.Unit())
+	r := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 150; trial++ {
+		a := randSeq(r, r.Intn(50))
+		b := randSeq(r, r.Intn(50))
+		got := hb.Align(a, b)
+		if want := -EditDistance(a, b); got.Score != want {
+			t.Fatalf("trial %d: score %d, want %d", trial, got.Score, want)
+		}
+	}
+}
+
+func TestHirschbergLongStringsLinearSpace(t *testing.T) {
+	// The point of the algorithm: a 20k x 20k alignment would need 400M
+	// DP cells with quadratic-space traceback; here only rows are kept.
+	sc := linearScoring()
+	hb := NewHirschberg(sc)
+	r := rand.New(rand.NewSource(28))
+	ref := randSeq(r, 20000)
+	query := mutate(r, ref, 40)
+	res := hb.Align(ref, query)
+	if err := res.Cigar.Validate(ref, query); err != nil {
+		t.Fatalf("invalid cigar: %v", err)
+	}
+	if res.Cigar.Score(sc) != res.Score {
+		t.Fatal("rescore mismatch")
+	}
+	if res.Score < 20000-40*(1+4+2+2) {
+		t.Errorf("score %d implausibly low for 40 edits", res.Score)
+	}
+}
+
+func TestHirschbergEdgeCases(t *testing.T) {
+	hb := NewHirschberg(linearScoring())
+	if got := hb.Align(dna.Seq{}, dna.Seq{}); got.Score != 0 || len(got.Cigar) != 0 {
+		t.Errorf("empty-empty: %+v", got)
+	}
+	if got := hb.Align(dna.MustParseSeq("ACGT"), dna.Seq{}); got.Cigar.String() != "4D" {
+		t.Errorf("empty query: %v", got.Cigar)
+	}
+	if got := hb.Align(dna.Seq{}, dna.MustParseSeq("AC")); got.Cigar.String() != "2I" {
+		t.Errorf("empty ref: %v", got.Cigar)
+	}
+	if got := hb.Align(dna.MustParseSeq("G"), dna.MustParseSeq("G")); got.Cigar.String() != "1=" {
+		t.Errorf("single match: %v", got.Cigar)
+	}
+}

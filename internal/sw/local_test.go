@@ -1,0 +1,63 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// enumerateLocal is the exhaustive Smith-Waterman oracle: the best global
+// score over every substring pair (zero for the empty alignment).
+func enumerateLocal(ref, query dna.Seq, sc align.Scoring) int {
+	best := 0
+	for rs := 0; rs <= len(ref); rs++ {
+		for re := rs; re <= len(ref); re++ {
+			for qs := 0; qs <= len(query); qs++ {
+				for qe := qs; qe <= len(query); qe++ {
+					if v := enumerateGlobal(ref[rs:re], query[qs:qe], 0, 0, 0, sc); v > best {
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestLocalAgainstEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	sc := align.BWAMEMDefaults()
+	al := NewAligner(sc)
+	for trial := 0; trial < 60; trial++ {
+		ref := randSeq(r, r.Intn(6))
+		query := randSeq(r, r.Intn(6))
+		want := enumerateLocal(ref, query, sc)
+		res := al.Align(ref, query, Local)
+		if res.Score != want {
+			t.Fatalf("trial %d: Local %d, oracle %d (ref=%v query=%v)", trial, res.Score, want, ref, query)
+		}
+		if err := res.Cigar.Validate(ref[res.RefPos:], query); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLocalFindsEmbeddedMatchWithIndel(t *testing.T) {
+	sc := align.BWAMEMDefaults()
+	al := NewAligner(sc)
+	ref := dna.MustParseSeq("TTTTTTACGTACGGGACGTACGTTTTTT")
+	// query matches ref[6:23] with the GG deleted.
+	query := dna.MustParseSeq("CCACGTACGGACGTACGCC")
+	res := al.Align(ref, query, Local)
+	if err := res.Cigar.Validate(ref[res.RefPos:], query); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if res.Cigar.Score(sc) != res.Score {
+		t.Fatalf("rescore mismatch")
+	}
+	if res.Score < 8 {
+		t.Errorf("score %d too low for a 15-base embedded match", res.Score)
+	}
+}
