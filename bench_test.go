@@ -216,6 +216,29 @@ func BenchmarkFig15GenAxPipeline(b *testing.B) {
 	b.ReportMetric(float64(len(batch)), "reads/op")
 }
 
+// BenchmarkAlignBatch measures the steady-state batch align path with the
+// persistent lane pool — the allocs/op column is the budget the
+// core.TestAlignBatchSteadyStateAllocs test enforces.
+func BenchmarkAlignBatch(b *testing.B) {
+	f := getFixture(100_000)
+	cfg := core.DefaultConfig()
+	cfg.SegmentLen = 32_768
+	aligner, err := core.New(f.wl.Ref, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := f.reads
+	if len(batch) > 200 {
+		batch = batch[:200]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aligner.AlignBatch(batch)
+	}
+	b.ReportMetric(float64(len(batch)), "reads/op")
+}
+
 func BenchmarkFig15BWAMEMPipeline(b *testing.B) {
 	f := getFixture(100_000)
 	a := bwamem.New(f.wl.Ref, bwamem.DefaultOptions())

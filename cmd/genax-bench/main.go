@@ -10,13 +10,17 @@
 //	genax-bench validate  GenAx vs BWA-MEM-like concordance
 //	genax-bench all       everything above
 //
-// Flags: -quick shrinks the workload; -genome/-coverage/-seed resize it.
+// Flags: -quick shrinks the workload; -genome/-coverage/-seed resize it;
+// -cpuprofile/-memprofile write pprof profiles of the selected experiment
+// (see EXPERIMENTS.md for the profiling workflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"genax/internal/bench"
 )
@@ -27,6 +31,8 @@ func main() {
 	coverage := flag.Float64("coverage", 0, "override read coverage")
 	seed := flag.Int64("seed", 0, "override workload RNG seed")
 	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: genax-bench [flags] {fig12|fig13|fig14|fig15|fig16|table2|validate|all}\n")
 		flag.PrintDefaults()
@@ -49,6 +55,35 @@ func main() {
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	run := map[string]func(){

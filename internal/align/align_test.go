@@ -227,3 +227,27 @@ func TestCigarScoreAdditiveUnderConcat(t *testing.T) {
 		t.Errorf("merged gap must beat two opens: %d vs %d", joined.Score(s), a.Score(s)+b.Score(s))
 	}
 }
+
+func TestConcatReversed(t *testing.T) {
+	cases := []struct{ c, d string }{
+		{"3=1X", "2=1I4="},
+		{"*", "5="},
+		{"2I", "*"},
+		{"3=", "2=1D"}, // seam coalescing: reversed d ends 2= meeting 3=
+	}
+	for _, tc := range cases {
+		c, err := ParseCigar(tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ParseCigar(tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(Cigar(nil), c...).ConcatReversed(d)
+		want := append(Cigar(nil), c...).Concat(d.Reverse())
+		if got.String() != want.String() {
+			t.Errorf("ConcatReversed(%s, %s) = %s, want %s", tc.c, tc.d, got, want)
+		}
+	}
+}

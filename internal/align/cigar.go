@@ -174,6 +174,16 @@ func (c Cigar) Reverse() Cigar {
 	return out
 }
 
+// ConcatReversed appends the run-reversal of d onto c, coalescing at the
+// seam — equivalent to c.Concat(d.Reverse()) without materializing the
+// reversed copy (the stitching hot path reverses every left extension).
+func (c Cigar) ConcatReversed(d Cigar) Cigar {
+	for i := len(d) - 1; i >= 0; i-- {
+		c = c.Append(d[i].Op, d[i].Len)
+	}
+	return c
+}
+
 // Concat appends another cigar, coalescing at the seam.
 func (c Cigar) Concat(d Cigar) Cigar {
 	for _, r := range d {

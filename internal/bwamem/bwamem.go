@@ -46,7 +46,7 @@ type Stats struct {
 type Aligner struct {
 	ref  dna.Seq
 	idx  *fmindex.SMEMIndex
-	eng  extend.BandedEngine
+	st   extend.Stitcher
 	opts Options
 	// Stats accumulates across Align calls.
 	Stats Stats
@@ -63,7 +63,7 @@ func New(ref dna.Seq, opts Options) *Aligner {
 	return &Aligner{
 		ref:  ref,
 		idx:  fmindex.BuildSMEMIndex(ref),
-		eng:  extend.BandedEngine{A: sw.NewBandedAligner(opts.Scoring, opts.Band)},
+		st:   extend.Stitcher{Eng: extend.BandedEngine{A: sw.NewBandedAligner(opts.Scoring, opts.Band)}},
 		opts: opts,
 	}
 }
@@ -74,7 +74,7 @@ func (a *Aligner) Clone() *Aligner {
 	return &Aligner{
 		ref:  a.ref,
 		idx:  a.idx,
-		eng:  extend.BandedEngine{A: sw.NewBandedAligner(a.opts.Scoring, a.opts.Band)},
+		st:   extend.Stitcher{Eng: extend.BandedEngine{A: sw.NewBandedAligner(a.opts.Scoring, a.opts.Band)}},
 		opts: a.opts,
 	}
 }
@@ -128,7 +128,7 @@ func (a *Aligner) alignStrand(q dna.Seq) (align.Result, bool) {
 				continue
 			}
 			seen[anchor] = struct{}{}
-			res := extend.AlignAt(a.eng, a.opts.Scoring, a.ref, q, s.Start, s.End, int(h), a.opts.Band)
+			res := a.st.AlignAt(a.opts.Scoring, a.ref, q, s.Start, s.End, int(h), a.opts.Band)
 			a.Stats.Extensions++
 			if !found || res.Better(best) {
 				best, found = res, true

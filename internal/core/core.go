@@ -8,7 +8,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"genax/internal/align"
 	"genax/internal/dna"
@@ -117,11 +116,15 @@ func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
 	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
 }
 
-// lane is the per-worker state: one seeding lane per segment plus one
-// SillaX lane.
+// lane is one worker's persistent state, mirroring a hardware lane: the
+// SillaX traceback machine, the seeding lane (rebound to each segment's
+// tables with bind), the extension stitcher, the anchor-dedup set, and the
+// work counters all live as long as the batch.
 type lane struct {
 	a       *Aligner
 	eng     countingEngine
+	sd      *seed.Seeder
+	st      extend.Stitcher
 	stats   Stats
 	anchors map[int64]struct{}
 	// trace, when non-nil, collects per-(read,segment) lane work items
@@ -136,13 +139,37 @@ func (a *Aligner) newLane() *lane {
 		cycles: &l.stats.ExtensionCycles,
 		reruns: &l.stats.ReRuns,
 	}
+	l.st = extend.Stitcher{Eng: l.eng}
 	return l
+}
+
+// bind points the lane's seeding hardware at a segment's tables, streaming
+// them in like the chip does; the seeder itself (CAM, scratch, counters)
+// persists across segments.
+func (l *lane) bind(si *seed.SegmentIndex) {
+	if l.sd == nil {
+		l.sd = seed.NewSeeder(si, l.a.cfg.Seeding)
+	} else {
+		l.sd.Reset(si)
+	}
+}
+
+// merge folds another stats block's work counters into t.
+func (t *Stats) merge(s Stats) {
+	t.IndexLookups += s.IndexLookups
+	t.CAMLookups += s.CAMLookups
+	t.SeedsEmitted += s.SeedsEmitted
+	t.HitsEmitted += s.HitsEmitted
+	t.Extensions += s.Extensions
+	t.ExtensionCycles += s.ExtensionCycles
+	t.ReRuns += s.ReRuns
 }
 
 // alignInSegment seeds and extends one oriented read against one segment,
 // merging candidates into best. It reports whether the read took the
 // exact-match fast path in this segment.
-func (l *lane) alignInSegment(sd *seed.Seeder, q dna.Seq, reverse bool, best *ReadResult) bool {
+func (l *lane) alignInSegment(q dna.Seq, reverse bool, best *ReadResult) bool {
+	sd := l.sd
 	before := sd.Stats
 	seeds := sd.Seed(q)
 	after := sd.Stats
@@ -159,15 +186,17 @@ func (l *lane) alignInSegment(sd *seed.Seeder, q dna.Seq, reverse bool, best *Re
 	clear(l.anchors)
 	for _, s := range seeds {
 		if exact {
-			// Whole-read exact match: no extension needed (§V).
+			// Whole-read exact match: no extension needed (§V). The cigar
+			// is materialized only when the candidate is adopted, so the
+			// fast path stays allocation-free for out-scored positions.
 			for _, h := range s.Positions {
 				res := align.Result{
 					RefPos:  int(h),
 					Score:   len(q) * l.a.cfg.Scoring.Match,
 					Reverse: reverse,
 				}
-				res.Cigar = res.Cigar.Append(align.OpMatch, len(q))
 				if !best.Aligned || res.Better(best.Result) {
+					res.Cigar = align.Cigar{{Op: align.OpMatch, Len: len(q)}}
 					best.Result, best.Aligned = res, true
 				}
 			}
@@ -180,7 +209,7 @@ func (l *lane) alignInSegment(sd *seed.Seeder, q dna.Seq, reverse bool, best *Re
 			}
 			l.anchors[key] = struct{}{}
 			cyclesBefore := l.stats.ExtensionCycles
-			res := extend.AlignAt(l.eng, l.a.cfg.Scoring, l.a.ref, q, s.Start, s.End, int(h), l.a.cfg.K)
+			res := l.st.AlignAt(l.a.cfg.Scoring, l.a.ref, q, s.Start, s.End, int(h), l.a.cfg.K)
 			res.Reverse = reverse
 			l.stats.Extensions++
 			if l.trace != nil {
@@ -233,48 +262,9 @@ func (a *Aligner) alignBatch(reads []dna.Seq, traceWork bool) ([]ReadResult, Sta
 	for i, r := range reads {
 		revs[i] = r.RevComp()
 	}
-	var total Stats
+	total, allWork := a.runPool(workers, reads, revs, results, exactFlags, traceWork)
 	total.Reads = len(reads)
 	total.Segments = a.index.NumSegments()
-	var allWork []hw.LaneWork
-	var mu sync.Mutex
-
-	for _, si := range a.index.Samples {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				l := a.newLane()
-				var localTrace []hw.LaneWork
-				if traceWork {
-					l.trace = &localTrace
-				}
-				sd := seed.NewSeeder(si, a.cfg.Seeding)
-				for i := w; i < len(reads); i += workers {
-					if l.alignInSegment(sd, reads[i], false, &results[i]) {
-						exactFlags[i] = true
-					}
-					if l.alignInSegment(sd, revs[i], true, &results[i]) {
-						exactFlags[i] = true
-					}
-				}
-				mu.Lock()
-				if traceWork {
-					allWork = append(allWork, localTrace...)
-				}
-				total.IndexLookups += l.stats.IndexLookups
-				total.CAMLookups += l.stats.CAMLookups
-				total.SeedsEmitted += l.stats.SeedsEmitted
-				total.HitsEmitted += l.stats.HitsEmitted
-				total.Extensions += l.stats.Extensions
-				total.ExtensionCycles += l.stats.ExtensionCycles
-				total.ReRuns += l.stats.ReRuns
-				mu.Unlock()
-			}(w)
-		}
-		wg.Wait()
-	}
 	for i := range results {
 		if results[i].Aligned && results[i].Result.Score < a.cfg.MinScore {
 			results[i] = ReadResult{}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"genax/internal/dna"
+	"genax/internal/hw"
+)
+
+// This file is the lane-pool scheduler behind AlignBatch. It mirrors the
+// chip (§VI): lanes are persistent hardware — only the per-segment tables
+// stream in — so the pool spawns its worker goroutines once per batch and
+// each worker keeps one long-lived lane (traceback machine, seeder, CAM,
+// scratch) across every segment. Within a segment, reads are claimed
+// dynamically in small chunks off an atomic cursor instead of being
+// striped statically: ~75% of reads resolve through the exact-match fast
+// path while the rest pay full SillaX extension, and with that bimodal
+// cost a static stripe leaves fast workers idle behind slow ones.
+
+// barrier is a reusable synchronization point: every party blocks in await
+// until all parties of the current generation have arrived, then all are
+// released together. The pool places one between segments so no lane
+// starts claiming segment s+1 while another still extends reads in s —
+// exactly the chip's table-streaming boundary, and what keeps each read's
+// per-segment merge order (and therefore the output) deterministic.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// claimChunk sizes the work-claiming granule: small enough that one worker
+// stuck on expensive extensions cannot strand a long tail of reads behind
+// it, large enough that the atomic cursor stays uncontended.
+func claimChunk(reads, workers int) int64 {
+	c := reads / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 32 {
+		c = 32
+	}
+	return int64(c)
+}
+
+// runPool drives the persistent lane pool over every segment of the index.
+// Each worker claims chunks of the read range off the segment's cursor,
+// aligns both strands of each claimed read, waits at the barrier, and
+// moves on to the next segment with its lane intact. Results and flags are
+// written only by the worker holding a read's claim; the barrier's
+// happens-before edge hands them safely to the next segment's claimant.
+func (a *Aligner) runPool(workers int, reads, revs []dna.Seq, results []ReadResult, exactFlags []bool, traceWork bool) (Stats, []hw.LaneWork) {
+	var total Stats
+	var allWork []hw.LaneWork
+	var mu sync.Mutex
+	cursors := make([]atomic.Int64, a.index.NumSegments())
+	chunk := claimChunk(len(reads), workers)
+	bar := newBarrier(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := a.newLane()
+			var localTrace []hw.LaneWork
+			if traceWork {
+				l.trace = &localTrace
+			}
+			for s, si := range a.index.Samples {
+				l.bind(si)
+				for {
+					start := cursors[s].Add(chunk) - chunk
+					if start >= int64(len(reads)) {
+						break
+					}
+					end := start + chunk
+					if end > int64(len(reads)) {
+						end = int64(len(reads))
+					}
+					for i := start; i < end; i++ {
+						if l.alignInSegment(reads[i], false, &results[i]) {
+							exactFlags[i] = true
+						}
+						if l.alignInSegment(revs[i], true, &results[i]) {
+							exactFlags[i] = true
+						}
+					}
+				}
+				bar.await()
+			}
+			mu.Lock()
+			if traceWork {
+				allWork = append(allWork, localTrace...)
+			}
+			total.merge(l.stats)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total, allWork
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"genax/internal/dna"
+	"genax/internal/sim"
+)
+
+// poolWorkload builds a shared fixture: a multi-segment reference and a
+// read mix whose cost is bimodal (exact fast-path reads plus noisy reads
+// needing full SillaX extension), the regime dynamic claiming targets.
+func poolWorkload(t *testing.T, n int) (*sim.Workload, []dna.Seq) {
+	t.Helper()
+	wl := testWorkload(310, 30000, 0.02)
+	if n > len(wl.Reads) {
+		n = len(wl.Reads)
+	}
+	reads := make([]dna.Seq, n)
+	for i := range reads {
+		reads[i] = wl.Reads[i].Seq
+	}
+	return wl, reads
+}
+
+// TestAlignBatchDeterministic asserts dynamic work claiming cannot change
+// output: results must be byte-identical (position, score, strand, cigar)
+// between a single-lane pool and a wide one.
+func TestAlignBatchDeterministic(t *testing.T) {
+	wl, reads := poolWorkload(t, 60)
+	cfg1 := smallConfig()
+	cfg1.Workers = 1
+	cfg8 := smallConfig()
+	cfg8.Workers = 8
+	a1, err := New(wl.Ref, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := New(wl.Ref, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, s1 := a1.AlignBatch(reads)
+	r8, s8 := a8.AlignBatch(reads)
+	for i := range reads {
+		if r1[i].Aligned != r8[i].Aligned {
+			t.Fatalf("read %d: aligned flag differs across worker counts", i)
+		}
+		if !r1[i].Aligned {
+			continue
+		}
+		x, y := r1[i].Result, r8[i].Result
+		if x.Score != y.Score || x.RefPos != y.RefPos || x.Reverse != y.Reverse ||
+			x.Cigar.String() != y.Cigar.String() {
+			t.Fatalf("read %d: %v vs %v", i, x, y)
+		}
+	}
+	// Work counters are claim-order independent too.
+	if s1 != s8 {
+		t.Errorf("stats differ across worker counts:\n1: %+v\n8: %+v", s1, s8)
+	}
+}
+
+// TestAlignBatchSteadyStateAllocs pins the allocation budget of the align
+// hot path: with every lane buffer warm, aligning a read (both strands,
+// all segments) may allocate only the adopted result cigars — the budget
+// below is a hard ceiling, kept deliberately above the measured value but
+// far below the pre-pool cost (hundreds of allocations per read).
+func TestAlignBatchSteadyStateAllocs(t *testing.T) {
+	wl, reads := poolWorkload(t, 30)
+	a, err := New(wl.Ref, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	revs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		revs[i] = r.RevComp()
+	}
+	l := a.newLane()
+	sweep := func() {
+		for _, si := range a.index.Samples {
+			l.bind(si)
+			for i := range reads {
+				var best ReadResult
+				l.alignInSegment(reads[i], false, &best)
+				l.alignInSegment(revs[i], true, &best)
+			}
+		}
+	}
+	sweep() // warm the lane's scratch buffers
+	avg := testing.AllocsPerRun(10, sweep)
+	perRead := avg / float64(len(reads))
+	const budget = 12.0
+	if perRead > budget {
+		t.Errorf("steady-state align path allocates %.2f per read, budget %.1f", perRead, budget)
+	}
+	t.Logf("steady-state allocs: %.2f per read (budget %.1f)", perRead, budget)
+}
+
+// TestAlignBatchConcurrentBatches exercises the atomic work cursors and
+// the segment barrier under the race detector: several batches run
+// concurrently over one (read-only) Aligner, and every one must produce
+// the same results.
+func TestAlignBatchConcurrentBatches(t *testing.T) {
+	wl, reads := poolWorkload(t, 48)
+	cfg := smallConfig()
+	cfg.Workers = 8
+	a, err := New(wl.Ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.AlignBatch(reads)
+	const batches = 4
+	got := make([][]ReadResult, batches)
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			got[b], _ = a.AlignBatch(reads)
+		}(b)
+	}
+	wg.Wait()
+	for b := 0; b < batches; b++ {
+		for i := range reads {
+			if got[b][i].Aligned != want[i].Aligned {
+				t.Fatalf("batch %d read %d: aligned flag diverged", b, i)
+			}
+			if want[i].Aligned && got[b][i].Result.String() != want[i].Result.String() {
+				t.Fatalf("batch %d read %d: %v vs %v", b, i, got[b][i].Result, want[i].Result)
+			}
+		}
+	}
+}
+
+// TestClaimChunk pins the claiming granule's bounds.
+func TestClaimChunk(t *testing.T) {
+	cases := []struct {
+		reads, workers int
+		want           int64
+	}{
+		{0, 4, 1},
+		{10, 4, 1},
+		{256, 4, 8},
+		{100000, 4, 32},
+		{64, 8, 1},
+	}
+	for _, tc := range cases {
+		if got := claimChunk(tc.reads, tc.workers); got != tc.want {
+			t.Errorf("claimChunk(%d, %d) = %d, want %d", tc.reads, tc.workers, got, tc.want)
+		}
+	}
+}

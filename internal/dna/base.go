@@ -130,9 +130,14 @@ func (s Seq) Equal(t Seq) bool {
 // Reverse returns the plain reversal of s (no complementing) — used when a
 // left extension is run on reversed strings.
 func (s Seq) Reverse() Seq {
-	out := make(Seq, len(s))
-	for i, b := range s {
-		out[len(s)-1-i] = b
+	return AppendReverse(make(Seq, 0, len(s)), s)
+}
+
+// AppendReverse appends the plain reversal of s to dst and returns the
+// extended slice, letting hot paths reverse into a reused scratch buffer.
+func AppendReverse(dst, s Seq) Seq {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst = append(dst, s[i])
 	}
-	return out
+	return dst
 }

@@ -131,3 +131,26 @@ func TestReverse(t *testing.T) {
 		t.Error("double Reverse is not identity")
 	}
 }
+
+func TestAppendReverse(t *testing.T) {
+	s, err := ParseSeq("ACGTT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Seq, 0, 8)
+	dst = AppendReverse(dst, s)
+	if !dst.Equal(s.Reverse()) {
+		t.Errorf("AppendReverse = %v, want %v", dst, s.Reverse())
+	}
+	// Appending to a non-empty prefix must extend, not replace.
+	dst = AppendReverse(dst, s[:2])
+	if dst.String() != "TTGCACA" {
+		t.Errorf("extended AppendReverse = %s", dst)
+	}
+	// A warm buffer must not allocate.
+	buf := make(Seq, 0, len(s))
+	avg := testing.AllocsPerRun(50, func() { AppendReverse(buf[:0], s) })
+	if avg != 0 {
+		t.Errorf("AppendReverse into warm buffer allocates %.1f/op", avg)
+	}
+}

@@ -25,7 +25,9 @@ type Extension struct {
 }
 
 // Engine runs one anchored, clipped extension. Implementations must treat
-// ref and query as anchored at position 0.
+// ref and query as anchored at position 0, and the returned Extension
+// (including its Cigar) must stay valid across subsequent Extend calls —
+// the stitcher holds the left extension while running the right one.
 type Engine interface {
 	Extend(ref, query dna.Seq) Extension
 }
@@ -52,11 +54,22 @@ func (e SillaXEngine) Extend(ref, query dna.Seq) Extension {
 	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
 }
 
+// Stitcher runs anchored seed extensions through one engine, reusing
+// scratch buffers for the reversed left-extension strings across calls so
+// that steady-state stitching only allocates the result cigar. Not safe
+// for concurrent use; give each lane its own Stitcher.
+type Stitcher struct {
+	Eng Engine
+
+	revRef, revQuery dna.Seq // reversed-string scratch for left extensions
+}
+
 // AlignAt aligns read against ref given that read[seedStart:seedEnd]
 // matches ref exactly at refPos (global coordinate of seedStart). margin
 // is the extra reference window allowed beyond the read ends (the edit
-// bound K). The returned result carries a full-query cigar.
-func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd, refPos, margin int) align.Result {
+// bound K). The returned result carries a full-query cigar and does not
+// alias the stitcher's scratch.
+func (st *Stitcher) AlignAt(sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd, refPos, margin int) align.Result {
 	seedLen := seedEnd - seedStart
 
 	// Left extension on reversed strings.
@@ -66,7 +79,9 @@ func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd
 		if lo < 0 {
 			lo = 0
 		}
-		left = eng.Extend(ref[lo:refPos].Reverse(), read[:seedStart].Reverse())
+		st.revRef = dna.AppendReverse(st.revRef[:0], ref[lo:refPos])
+		st.revQuery = dna.AppendReverse(st.revQuery[:0], read[:seedStart])
+		left = st.Eng.Extend(st.revRef, st.revQuery)
 	}
 	// Right extension.
 	var right Extension
@@ -76,13 +91,13 @@ func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd
 		if hi > len(ref) {
 			hi = len(ref)
 		}
-		right = eng.Extend(ref[rightRef:hi], read[seedEnd:])
+		right = st.Eng.Extend(ref[rightRef:hi], read[seedEnd:])
 	}
 
-	var cig align.Cigar
+	cig := make(align.Cigar, 0, len(left.Cigar)+len(right.Cigar)+2)
 	if seedStart > 0 {
 		if len(left.Cigar) > 0 {
-			cig = left.Cigar.Reverse()
+			cig = cig.ConcatReversed(left.Cigar)
 		} else {
 			cig = cig.Append(align.OpClip, seedStart)
 		}
@@ -100,4 +115,11 @@ func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd
 		Score:  left.Score + seedLen*sc.Match + right.Score,
 		Cigar:  cig,
 	}
+}
+
+// AlignAt is the one-shot convenience form of Stitcher.AlignAt; hot paths
+// should hold a Stitcher instead so the reversal scratch is reused.
+func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd, refPos, margin int) align.Result {
+	st := Stitcher{Eng: eng}
+	return st.AlignAt(sc, ref, read, seedStart, seedEnd, refPos, margin)
 }

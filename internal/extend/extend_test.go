@@ -164,3 +164,44 @@ func TestAlignAtIndelRead(t *testing.T) {
 		}
 	}
 }
+
+// TestStitcherMatchesOneShot checks that a reused Stitcher produces exactly
+// what the one-shot AlignAt produces — the scratch buffers must never leak
+// state between extensions.
+func TestStitcherMatchesOneShot(t *testing.T) {
+	r := rand.New(rand.NewSource(130))
+	sc := align.BWAMEMDefaults()
+	for name, eng := range engines(16) {
+		st := Stitcher{Eng: eng}
+		ref := randSeq(r, 3000)
+		for trial := 0; trial < 40; trial++ {
+			pos := 100 + r.Intn(2500)
+			read := plantRead(r, ref, pos, 101, 40, 60, r.Intn(6))
+			got := st.AlignAt(sc, ref, read, 40, 60, pos+40, 16)
+			want := AlignAt(eng, sc, ref, read, 40, 60, pos+40, 16)
+			if got.Score != want.Score || got.RefPos != want.RefPos || got.Cigar.String() != want.Cigar.String() {
+				t.Fatalf("%s trial %d: stitcher %v vs one-shot %v", name, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestStitcherLeftCigarSurvivesRightExtension guards the Engine contract:
+// the left extension's cigar is held across the right Extend call, so an
+// engine whose results aliased reusable scratch would corrupt the stitch.
+func TestStitcherLeftCigarSurvivesRightExtension(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	sc := align.BWAMEMDefaults()
+	m := sillax.NewTracebackMachine(16, sc)
+	st := Stitcher{Eng: SillaXEngine{M: m}}
+	ref := randSeq(r, 2000)
+	for trial := 0; trial < 30; trial++ {
+		pos := 100 + r.Intn(1700)
+		// Errors on both flanks force non-trivial left AND right cigars.
+		read := plantRead(r, ref, pos, 101, 45, 65, 4)
+		res := st.AlignAt(sc, ref, read, 45, 65, pos+45, 16)
+		if err := res.Cigar.Validate(ref[res.RefPos:], read); err != nil {
+			t.Fatalf("trial %d: stitched cigar invalid: %v (%v)", trial, err, res)
+		}
+	}
+}

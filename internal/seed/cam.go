@@ -9,6 +9,10 @@ import "sort"
 type CAM struct {
 	size    int
 	entries map[int32]struct{}
+	// matched is the reusable scratch of IntersectChunkedInto (one flag
+	// per candidate, cleared between lookups); the hardware equivalent is
+	// the per-entry match bit latched across chunk passes.
+	matched []bool
 
 	// Stats accumulated across operations (reset with ResetStats).
 	Lookups  int // associative probes
@@ -55,14 +59,19 @@ func (c *CAM) Load(vals []int32) bool {
 // IntersectProbe probes every incoming value against the stored set and
 // returns the matches (one CAM lookup each).
 func (c *CAM) IntersectProbe(incoming []int32) []int32 {
+	return c.IntersectProbeInto(nil, incoming)
+}
+
+// IntersectProbeInto is IntersectProbe appending into dst (which may be a
+// reused scratch slice); it returns the extended slice.
+func (c *CAM) IntersectProbeInto(dst, incoming []int32) []int32 {
 	c.Lookups += len(incoming)
-	var out []int32
 	for _, v := range incoming {
 		if _, ok := c.entries[v]; ok {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // BinaryCost returns the modelled probe cost of IntersectBinary on the
@@ -83,18 +92,23 @@ func BinaryCost(nCur, nHits int) int {
 // are sorted offline, so oversized sets cost log time instead of a full
 // CAM load). The lookup counter charges ceil(log2 n) probes per candidate.
 func (c *CAM) IntersectBinary(cur []int32, sortedHits []int32) []int32 {
+	return c.IntersectBinaryInto(nil, cur, sortedHits)
+}
+
+// IntersectBinaryInto is IntersectBinary appending into dst (which may be a
+// reused scratch slice); it returns the extended slice.
+func (c *CAM) IntersectBinaryInto(dst, cur, sortedHits []int32) []int32 {
 	if len(sortedHits) == 0 || len(cur) == 0 {
-		return nil
+		return dst
 	}
 	c.Lookups += BinaryCost(len(cur), len(sortedHits))
-	var out []int32
 	for _, v := range cur {
 		i := sort.Search(len(sortedHits), func(j int) bool { return sortedHits[j] >= v })
 		if i < len(sortedHits) && sortedHits[i] == v {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // IntersectChunked is the baseline without binary search when neither set
@@ -102,10 +116,22 @@ func (c *CAM) IntersectBinary(cur []int32, sortedHits []int32) []int32 {
 // the candidates probe every chunk. It is what forces the §V binary-search
 // optimization — the cost is len(cur) probes per chunk plus the loads.
 func (c *CAM) IntersectChunked(cur []int32, incoming []int32) []int32 {
+	return c.IntersectChunkedInto(nil, cur, incoming)
+}
+
+// IntersectChunkedInto is IntersectChunked appending into dst (which may be
+// a reused scratch slice); it returns the extended slice. The per-candidate
+// match flags live in a scratch slice owned by the CAM and cleared between
+// lookups, so steady-state intersection does not allocate.
+func (c *CAM) IntersectChunkedInto(dst, cur, incoming []int32) []int32 {
 	if len(cur) == 0 || len(incoming) == 0 {
-		return nil
+		return dst
 	}
-	matched := make(map[int32]struct{})
+	if cap(c.matched) < len(cur) {
+		c.matched = make([]bool, len(cur))
+	}
+	matched := c.matched[:len(cur)]
+	clear(matched)
 	for lo := 0; lo < len(incoming); lo += c.size {
 		hi := lo + c.size
 		if hi > len(incoming) {
@@ -117,17 +143,16 @@ func (c *CAM) IntersectChunked(cur []int32, incoming []int32) []int32 {
 		}
 		c.Writes += hi - lo
 		c.Lookups += len(cur)
-		for _, v := range cur {
+		for j, v := range cur {
 			if _, ok := c.entries[v]; ok {
-				matched[v] = struct{}{}
+				matched[j] = true
 			}
 		}
 	}
-	var out []int32
-	for _, v := range cur { // preserve sorted order of cur
-		if _, ok := matched[v]; ok {
-			out = append(out, v)
+	for j, v := range cur { // preserve sorted order of cur
+		if matched[j] {
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }

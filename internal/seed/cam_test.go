@@ -1,0 +1,92 @@
+package seed
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// chunkedRef recomputes the chunked intersection naively: every value of
+// cur that occurs anywhere in incoming, in cur order.
+func chunkedRef(cur, incoming []int32) []int32 {
+	in := make(map[int32]bool, len(incoming))
+	for _, v := range incoming {
+		in[v] = true
+	}
+	var out []int32
+	for _, v := range cur {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestIntersectChunkedScratchReuse drives many chunked intersections of
+// varying sizes through one CAM, checking each result against the naive
+// reference: the reusable match-flag scratch must be fully cleared between
+// lookups, so no stale flag from a larger earlier call can leak a
+// non-member into a later result.
+func TestIntersectChunkedScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(220))
+	c := NewCAM(8) // tiny capacity forces many chunks
+	for trial := 0; trial < 200; trial++ {
+		nc, ni := 1+r.Intn(40), 1+r.Intn(100)
+		cur := make([]int32, nc)
+		for i := range cur {
+			cur[i] = int32(r.Intn(60))
+		}
+		sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+		incoming := make([]int32, ni)
+		for i := range incoming {
+			incoming[i] = int32(r.Intn(60))
+		}
+		got := c.IntersectChunked(cur, incoming)
+		want := chunkedRef(cur, incoming)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestIntersectChunkedIntoNoAlloc pins the fix for the per-lookup matched
+// map: a warm CAM intersecting into a caller-provided buffer must not
+// allocate at all.
+func TestIntersectChunkedIntoNoAlloc(t *testing.T) {
+	c := NewCAM(4)
+	cur := []int32{1, 3, 5, 7, 9, 11, 13}
+	incoming := []int32{2, 3, 5, 8, 9, 14, 1, 6, 13, 4}
+	dst := make([]int32, 0, len(cur))
+	c.IntersectChunkedInto(dst, cur, incoming) // warm the scratch
+	avg := testing.AllocsPerRun(100, func() {
+		c.IntersectChunkedInto(dst, cur, incoming)
+	})
+	if avg != 0 {
+		t.Errorf("warm IntersectChunkedInto allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestIntersectIntoAppendSemantics checks the Into variants extend dst
+// rather than replacing it.
+func TestIntersectIntoAppendSemantics(t *testing.T) {
+	c := NewCAM(16)
+	dst := []int32{-99}
+	c.Load([]int32{4, 5, 6})
+	dst = c.IntersectProbeInto(dst, []int32{5, 7})
+	dst = c.IntersectBinaryInto(dst, []int32{2, 8}, []int32{1, 2, 3, 8})
+	dst = c.IntersectChunkedInto(dst, []int32{10, 11}, []int32{11})
+	want := []int32{-99, 5, 2, 8, 11}
+	if len(dst) != len(want) {
+		t.Fatalf("dst = %v, want %v", dst, want)
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}

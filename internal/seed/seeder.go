@@ -63,13 +63,34 @@ type Stats struct {
 	HitsEmitted  int // total (seed, position) pairs sent to extension
 }
 
-// Seeder is one seeding lane bound to a segment index.
+// segWin is one stride-k window of the exact-match fast path.
+type segWin struct {
+	q    int
+	hits []int32
+}
+
+// Seeder is one seeding lane bound to a segment index. A lane is long-lived:
+// Reset rebinds it to the next segment's tables while the CAM and all
+// scratch buffers survive, so steady-state seeding does not allocate.
 type Seeder struct {
 	si   *SegmentIndex
 	cam  *CAM
 	opts Options
 	// Stats accumulates across Seed calls; reset it directly.
 	Stats Stats
+
+	// Lane-owned scratch. curBuf double-buffers the candidate sets flowing
+	// through intersect: writes always go to the buffer live does NOT name,
+	// and adopt flips live when the caller keeps a result, so an input set
+	// is never overwritten while still being read. inBuf holds the
+	// delta-normalized incoming hits of one intersect call; seedBuf backs
+	// the returned seeds (and recycles their Positions buffers slot by
+	// slot); winBuf backs the exact-match window list.
+	inBuf   []int32
+	curBuf  [2][]int32
+	live    int
+	seedBuf []Seed
+	winBuf  []segWin
 }
 
 // NewSeeder builds a lane over si.
@@ -83,8 +104,20 @@ func NewSeeder(si *SegmentIndex, opts Options) *Seeder {
 	return &Seeder{si: si, cam: NewCAM(opts.CAMSize), opts: opts}
 }
 
+// Reset rebinds the lane to another segment's tables in place, mirroring
+// the chip streaming a fresh per-segment table pair into SRAM while the
+// lane hardware persists: the CAM, scratch buffers, and accumulated Stats
+// all survive. The new index must use the same k-mer length workflow as
+// any previous one only in the sense that Seed consults si.K() per call —
+// differing k is allowed.
+func (sd *Seeder) Reset(si *SegmentIndex) { sd.si = si }
+
 // Options returns the lane configuration.
 func (sd *Seeder) Options() Options { return sd.opts }
+
+// adopt records that the caller now holds the most recent intersect result
+// as its live candidate set, so the next intersect writes the other buffer.
+func (sd *Seeder) adopt() { sd.live ^= 1 }
 
 // lookup charges an index-table access and returns the (sorted, local)
 // hits of the window at read position q.
@@ -104,10 +137,11 @@ func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
 // cheaper (optimization two), and — with binary search disabled — streams
 // oversized lists through the CAM in chunks.
 func (sd *Seeder) intersect(cur []int32, raw []int32, delta int32) []int32 {
-	incoming := make([]int32, len(raw))
-	for i, h := range raw {
-		incoming[i] = h - delta
+	incoming := sd.inBuf[:0]
+	for _, h := range raw {
+		incoming = append(incoming, h-delta)
 	}
+	sd.inBuf = incoming
 	cam := sd.cam
 	const inf = 1 << 60
 	// Feasible strategies and their CAM-operation costs (loads + probes;
@@ -127,19 +161,21 @@ func (sd *Seeder) intersect(cur []int32, raw []int32, delta int32) []int32 {
 		binaryCost = BinaryCost(len(cur), len(incoming))
 	}
 
+	dst := sd.curBuf[1-sd.live][:0]
 	var out []int32
 	switch minOf(probeIncomingCost, probeCurCost, chunkedCost, binaryCost) {
 	case binaryCost:
-		out = cam.IntersectBinary(cur, incoming)
+		out = cam.IntersectBinaryInto(dst, cur, incoming)
 	case probeIncomingCost:
 		cam.Load(cur)
-		out = cam.IntersectProbe(incoming)
+		out = cam.IntersectProbeInto(dst, incoming)
 	case probeCurCost:
 		cam.Load(incoming)
-		out = cam.IntersectProbe(cur)
+		out = cam.IntersectProbeInto(dst, cur)
 	default:
-		out = cam.IntersectChunked(cur, incoming)
+		out = cam.IntersectChunkedInto(dst, cur, incoming)
 	}
+	sd.curBuf[1-sd.live] = out
 	sd.Stats.CAMLookups = cam.Lookups + cam.Writes
 	return out
 }
@@ -192,6 +228,7 @@ func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 				return sd.refine(read, p, p, cur)
 			}
 			cur, last = next, bestQ
+			sd.adopt()
 		}
 	}
 	// Doubling phase: stride k while the intersection survives.
@@ -209,6 +246,7 @@ func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 			break
 		}
 		cur, last = next, q
+		sd.adopt()
 	}
 	return sd.refine(read, p, last, cur)
 }
@@ -231,6 +269,7 @@ func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) 
 			next := sd.intersect(cur, h, int32(q-p))
 			if len(next) > 0 {
 				cur, last = next, q
+				sd.adopt()
 			}
 		}
 	}
@@ -238,7 +277,9 @@ func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) 
 }
 
 // Seed reports the seeds of a read against this lane's segment, in read
-// order, with positions translated to global coordinates.
+// order, with positions translated to global coordinates. The returned
+// slice and the Positions slices inside it are backed by lane-owned
+// scratch: they are valid only until the next Seed call on this Seeder.
 func (sd *Seeder) Seed(read dna.Seq) []Seed {
 	sd.Stats.Reads++
 	k := sd.si.K()
@@ -250,12 +291,12 @@ func (sd *Seeder) Seed(read dna.Seq) []Seed {
 		return sd.naiveSeeds(read)
 	}
 	if sd.opts.ExactFastPath {
-		if s, ok := sd.exactMatch(read); ok {
+		if out, ok := sd.exactMatch(read); ok {
 			sd.Stats.ExactReads++
-			return []Seed{s}
+			return out
 		}
 	}
-	var out []Seed
+	out := sd.seedBuf[:0]
 	maxEnd := -1
 	for p := 0; p+k <= m; p++ {
 		l, cur := sd.rmem(read, p)
@@ -274,15 +315,21 @@ func (sd *Seeder) Seed(read dna.Seq) []Seed {
 		if l < sd.opts.MinSeedLen {
 			continue
 		}
-		out = append(out, sd.emit(p, end, cur))
+		out = sd.emit(out, p, end, cur)
 	}
+	sd.seedBuf = out
 	return out
 }
 
-// emit converts pivot-normalized local candidates to a global Seed and
-// charges the hit counters.
-func (sd *Seeder) emit(start, end int, cur []int32) Seed {
-	positions := make([]int32, 0, len(cur))
+// emit appends a Seed for the pivot-normalized local candidates to out,
+// translating to global coordinates and charging the hit counters. When out
+// has spare capacity the Positions buffer of the Seed previously stored in
+// the next slot is recycled, so a warm lane emits without allocating.
+func (sd *Seeder) emit(out []Seed, start, end int, cur []int32) []Seed {
+	var positions []int32
+	if n := len(out); n < cap(out) {
+		positions = out[: n+1 : n+1][n].Positions[:0]
+	}
 	for _, c := range cur {
 		positions = append(positions, c+int32(sd.si.Offset))
 		if sd.opts.MaxHits > 0 && len(positions) >= sd.opts.MaxHits {
@@ -291,36 +338,34 @@ func (sd *Seeder) emit(start, end int, cur []int32) Seed {
 	}
 	sd.Stats.SeedsEmitted++
 	sd.Stats.HitsEmitted += len(positions)
-	return Seed{Start: start, End: end, Positions: positions}
+	return append(out, Seed{Start: start, End: end, Positions: positions})
 }
 
 // exactMatch implements optimization four: intersect ceil(m/k) windows
 // spanning the whole read, smallest hit set first; a non-empty result is a
-// whole-read exact match and seed-extension can be skipped entirely.
-func (sd *Seeder) exactMatch(read dna.Seq) (Seed, bool) {
+// whole-read exact match and seed-extension can be skipped entirely. On
+// success it returns the lane's seed buffer holding the single seed.
+func (sd *Seeder) exactMatch(read dna.Seq) ([]Seed, bool) {
 	k := sd.si.K()
 	m := len(read)
-	type win struct {
-		q    int
-		hits []int32
-	}
-	var wins []win
+	wins := sd.winBuf[:0]
+	defer func() { sd.winBuf = wins }()
 	for q := 0; ; q += k {
 		if q > m-k {
 			if last := m - k; last > wins[len(wins)-1].q {
 				h, ok := sd.lookup(read, last)
 				if !ok || len(h) == 0 {
-					return Seed{}, false
+					return nil, false
 				}
-				wins = append(wins, win{last, h})
+				wins = append(wins, segWin{last, h})
 			}
 			break
 		}
 		h, ok := sd.lookup(read, q)
 		if !ok || len(h) == 0 {
-			return Seed{}, false
+			return nil, false
 		}
-		wins = append(wins, win{q, h})
+		wins = append(wins, segWin{q, h})
 	}
 	// Smallest set first minimizes CAM work.
 	smallest := 0
@@ -330,15 +375,18 @@ func (sd *Seeder) exactMatch(read dna.Seq) (Seed, bool) {
 		}
 	}
 	base := wins[smallest]
-	cur := make([]int32, len(base.hits))
-	for i, h := range base.hits {
-		cur[i] = h - int32(base.q) // normalize to read start
+	cur := sd.curBuf[0][:0]
+	for _, h := range base.hits {
+		cur = append(cur, h-int32(base.q)) // normalize to read start
 	}
+	sd.curBuf[0] = cur
+	sd.live = 0
 	for i, w := range wins {
 		if i == smallest || len(cur) == 0 {
 			continue
 		}
 		cur = sd.intersect(cur, w.hits, int32(w.q))
+		sd.adopt()
 	}
 	// Negative positions would run off the segment start.
 	valid := cur[:0]
@@ -348,9 +396,10 @@ func (sd *Seeder) exactMatch(read dna.Seq) (Seed, bool) {
 		}
 	}
 	if len(valid) == 0 {
-		return Seed{}, false
+		return nil, false
 	}
-	return sd.emit(0, m, valid), true
+	sd.seedBuf = sd.emit(sd.seedBuf[:0], 0, m, valid)
+	return sd.seedBuf, true
 }
 
 // naiveSeeds is the baseline without SMEM filtering: every stride-k window
@@ -358,13 +407,14 @@ func (sd *Seeder) exactMatch(read dna.Seq) (Seed, bool) {
 func (sd *Seeder) naiveSeeds(read dna.Seq) []Seed {
 	k := sd.si.K()
 	m := len(read)
-	var out []Seed
+	out := sd.seedBuf[:0]
 	for q := 0; q+k <= m; q += k {
 		h, ok := sd.lookup(read, q)
 		if !ok || len(h) == 0 {
 			continue
 		}
-		out = append(out, sd.emit(q, q+k, h))
+		out = sd.emit(out, q, q+k, h)
 	}
+	sd.seedBuf = out
 	return out
 }

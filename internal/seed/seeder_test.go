@@ -253,3 +253,73 @@ func TestMaxHitsCap(t *testing.T) {
 		}
 	}
 }
+
+// TestSeederResetAcrossSegments checks that one long-lived lane rebound
+// with Reset reports exactly what a fresh per-segment seeder reports — the
+// persistent-lane-pool invariant of the core pipeline.
+func TestSeederResetAcrossSegments(t *testing.T) {
+	r := rand.New(rand.NewSource(117))
+	ref := randSeq(r, 4000)
+	sx, err := BuildSegmentedIndex(ref, 1000, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persistent := NewSeeder(sx.Samples[0], DefaultOptions())
+	for trial := 0; trial < 30; trial++ {
+		start := r.Intn(len(ref) - 120)
+		read := mutate(r, ref[start:start+101].Clone(), r.Intn(4))
+		for _, si := range sx.Samples {
+			persistent.Reset(si)
+			got := persistent.Seed(read)
+			fresh := NewSeeder(si, DefaultOptions())
+			want := fresh.Seed(read)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d seg %d: %d seeds vs fresh %d", trial, si.ID, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Start != want[i].Start || got[i].End != want[i].End {
+					t.Fatalf("trial %d seg %d seed %d: span [%d,%d) vs [%d,%d)",
+						trial, si.ID, i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+				}
+				g, w := sortedCopy(got[i].Positions), sortedCopy(want[i].Positions)
+				if len(g) != len(w) {
+					t.Fatalf("trial %d seg %d seed %d: %d hits vs %d", trial, si.ID, i, len(g), len(w))
+				}
+				for j := range g {
+					if g[j] != w[j] {
+						t.Fatalf("trial %d seg %d seed %d hit %d: %d vs %d", trial, si.ID, i, j, g[j], w[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSeederSteadyStateAllocs pins the zero-allocation property of a warm
+// seeding lane: once the scratch buffers have grown to the workload, Seed
+// must not allocate.
+func TestSeederSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(118))
+	ref := randSeq(r, 8000)
+	si, err := BuildSegmentIndex(ref, 0, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := NewSeeder(si, DefaultOptions())
+	reads := make([]dna.Seq, 20)
+	for i := range reads {
+		start := r.Intn(len(ref) - 120)
+		reads[i] = mutate(r, ref[start:start+101].Clone(), r.Intn(4))
+	}
+	for _, rd := range reads { // warm the lane
+		sd.Seed(rd)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for _, rd := range reads {
+			sd.Seed(rd)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm Seeder.Seed allocates %.2f times per sweep, want 0", avg)
+	}
+}

@@ -100,6 +100,15 @@ type TracebackMachine struct {
 	lastBest *tnode
 
 	arena nodeArena
+	// revBuf is the reusable phase-5 walk buffer; the reported Cigar is a
+	// fresh reversal of it, so results stay valid across Extend calls.
+	revBuf align.Cigar
+	// emptyRegs/emptyBest are prototype empty register files: clearing by
+	// copy is a memmove, which the per-cycle next-register wipe and reset
+	// both lean on — the grids hold (K+1)² entries and K=40 makes an
+	// element-wise clear a real fraction of Extend's runtime.
+	emptyRegs []treg
+	emptyBest []int32
 }
 
 // NewTracebackMachine builds a traceback machine with edit bound k.
@@ -113,32 +122,36 @@ func NewTracebackMachine(k int, sc align.Scoring) *TracebackMachine {
 	w := k + 1
 	n := w * w
 	mk := func() []treg { return make([]treg, n) }
-	return &TracebackMachine{
+	m := &TracebackMachine{
 		k: k, w: w, sc: sc,
 		m0: mk(), i0: mk(), d0: mk(), m1: mk(), i1: mk(), d1: mk(), wt: mk(),
 		nm0: mk(), ni0: mk(), nd0: mk(), nm1: mk(), ni1: mk(), nd1: mk(), nwt: mk(),
 		stBest:    make([]int32, 2*n),
 		stPtrEdge: make([]align.Op, 2*n),
+		emptyRegs: make([]treg, n),
+		emptyBest: make([]int32, 2*n),
 	}
+	for i := range m.emptyRegs {
+		m.emptyRegs[i] = treg{v: neg}
+	}
+	for i := range m.emptyBest {
+		m.emptyBest[i] = neg
+	}
+	return m
 }
 
 // K returns the edit bound.
 func (m *TracebackMachine) K() int { return m.k }
 
 func (m *TracebackMachine) reset() {
-	for i := range m.m0 {
-		empty := treg{v: neg}
-		m.m0[i], m.i0[i], m.d0[i] = empty, empty, empty
-		m.m1[i], m.i1[i], m.d1[i] = empty, empty, empty
-		m.wt[i] = empty
-		m.nm0[i], m.ni0[i], m.nd0[i] = empty, empty, empty
-		m.nm1[i], m.ni1[i], m.nd1[i] = empty, empty, empty
-		m.nwt[i] = empty
+	for _, regs := range [][]treg{
+		m.m0, m.i0, m.d0, m.m1, m.i1, m.d1, m.wt,
+		m.nm0, m.ni0, m.nd0, m.nm1, m.ni1, m.nd1, m.nwt,
+	} {
+		copy(regs, m.emptyRegs)
 	}
-	for i := range m.stBest {
-		m.stBest[i] = neg
-		m.stPtrEdge[i] = 0
-	}
+	copy(m.stBest, m.emptyBest)
+	clear(m.stPtrEdge)
 	m.m0[0] = treg{v: 0}
 	m.Cycles = 0
 	m.arena.n = 0
@@ -285,12 +298,13 @@ func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
 		m.i1, m.ni1 = m.ni1, m.i1
 		m.d1, m.nd1 = m.nd1, m.d1
 		m.wt, m.nwt = m.nwt, m.wt
-		empty := treg{v: neg}
-		for i := range m.nm0 {
-			m.nm0[i], m.ni0[i], m.nd0[i] = empty, empty, empty
-			m.nm1[i], m.ni1[i], m.nd1[i] = empty, empty, empty
-			m.nwt[i] = empty
-		}
+		copy(m.nm0, m.emptyRegs)
+		copy(m.ni0, m.emptyRegs)
+		copy(m.nd0, m.emptyRegs)
+		copy(m.nm1, m.emptyRegs)
+		copy(m.ni1, m.emptyRegs)
+		copy(m.nd1, m.emptyRegs)
+		copy(m.nwt, m.emptyRegs)
 		if !any {
 			break
 		}
@@ -303,7 +317,7 @@ func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
 	// when its best register was overwritten after the winning path left
 	// it; each break forces a re-run of phase one up to the departure
 	// cycle of that greedy state.
-	var rev align.Cigar
+	rev := m.revBuf[:0]
 	if tail := qn - (bestCycle - bestD); best > 0 && tail > 0 {
 		rev = rev.Append(align.OpClip, tail)
 	} else if best == 0 {
@@ -334,6 +348,7 @@ func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
 		}
 	}
 	m.lastBest = bestNode
+	m.revBuf = rev
 	res.Cigar = rev.Reverse()
 	if best > 0 {
 		res.QueryLen = bestCycle - bestD
