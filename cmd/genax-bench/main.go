@@ -12,7 +12,9 @@
 //
 // Flags: -quick shrinks the workload; -genome/-coverage/-seed resize it;
 // -cpuprofile/-memprofile write pprof profiles of the selected experiment
-// (see EXPERIMENTS.md for the profiling workflow).
+// (see EXPERIMENTS.md for the profiling workflow); -allocbudget N measures
+// steady-state AlignBatch heap allocations per read after the experiment
+// and exits non-zero when they exceed N.
 package main
 
 import (
@@ -26,6 +28,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile writers execute before the
+// process exits with a failure code (os.Exit in main would skip them).
+func run() int {
 	quick := flag.Bool("quick", false, "use a small workload for a fast smoke run")
 	genome := flag.Int("genome", 0, "override synthetic genome length (bases)")
 	coverage := flag.Float64("coverage", 0, "override read coverage")
@@ -33,6 +41,8 @@ func main() {
 	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	allocbudget := flag.Float64("allocbudget", 0,
+		"after the experiment, measure steady-state AlignBatch allocations per read and fail if above this budget (0 disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: genax-bench [flags] {fig12|fig13|fig14|fig15|fig16|table2|validate|all}\n")
 		flag.PrintDefaults()
@@ -40,7 +50,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	spec := bench.DefaultWorkload()
@@ -61,12 +71,12 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -75,18 +85,19 @@ func main() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
-				os.Exit(1)
+				return
 			}
-			defer f.Close()
 			runtime.GC() // flush dead objects so the profile shows retained memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
-				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "genax-bench: %v\n", err)
 			}
 		}()
 	}
 
-	run := map[string]func(){
+	experiments := map[string]func(){
 		"fig12":    func() { fmt.Println(bench.Fig12()) },
 		"fig13":    func() { fmt.Println(bench.Fig13(spec)) },
 		"fig14":    func() { fmt.Println(bench.Fig14(spec, *pairs)) },
@@ -99,15 +110,35 @@ func main() {
 	if name == "all" {
 		for _, k := range []string{"fig12", "table2", "fig13", "fig14", "fig16", "fig15", "validate"} {
 			fmt.Printf("==== %s ====\n", k)
-			run[k]()
+			experiments[k]()
 		}
-		return
+		return checkAllocBudget(spec, *allocbudget)
 	}
-	f, ok := run[name]
+	f, ok := experiments[name]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "genax-bench: unknown experiment %q\n", name)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	f()
+	return checkAllocBudget(spec, *allocbudget)
+}
+
+// checkAllocBudget runs the steady-state allocation measurement when a
+// budget is set, printing the result and failing the process on overrun.
+func checkAllocBudget(spec bench.WorkloadSpec, budget float64) int {
+	if budget <= 0 {
+		return 0
+	}
+	res, err := bench.AllocsPerRead(spec, budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: allocbudget: %v\n", err)
+		return 1
+	}
+	fmt.Println(res)
+	if res.Exceeded() {
+		fmt.Fprintf(os.Stderr, "genax-bench: allocation budget exceeded\n")
+		return 1
+	}
+	return 0
 }

@@ -74,7 +74,7 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	if err := dna.WriteFasta(f, []dna.FastaRecord{{Name: "synthetic", Seq: wl.Ref}}, 0); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -96,7 +96,7 @@ func cmdSimulate(args []string) error {
 		truth[i] = fmt.Sprintf("%s\t%d\t%s\t%d", rd.ID, rd.TruePos, strand, rd.Errors)
 	}
 	if err := dna.WriteFastq(g, recs); err != nil {
-		g.Close()
+		_ = g.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := g.Close(); err != nil {
@@ -108,12 +108,13 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	bw := bufio.NewWriter(t)
-	fmt.Fprintln(bw, "#read\ttrue_pos\tstrand\terrors")
+	// bufio errors are sticky; the checked Flush below surfaces them.
+	_, _ = fmt.Fprintln(bw, "#read\ttrue_pos\tstrand\terrors")
 	for _, line := range truth {
-		fmt.Fprintln(bw, line)
+		_, _ = fmt.Fprintln(bw, line)
 	}
 	if err := bw.Flush(); err != nil {
-		t.Close()
+		_ = t.Close()
 		return err
 	}
 	if err := t.Close(); err != nil {
@@ -210,16 +211,17 @@ func cmdAlign(args []string) error {
 	}
 	results, st := aligner.AlignBatch(reads)
 	out := bufio.NewWriter(os.Stdout)
+	// bufio errors are sticky; the checked Flush below surfaces them.
 	for i, rr := range results {
 		if !rr.Aligned {
-			fmt.Fprintf(out, "%s\t4\t*\t0\t0\t*\tAS:i:0\n", recs[i].Name)
+			_, _ = fmt.Fprintf(out, "%s\t4\t*\t0\t0\t*\tAS:i:0\n", recs[i].Name)
 			continue
 		}
 		flagv := 0
 		if rr.Result.Reverse {
 			flagv = 16
 		}
-		fmt.Fprintf(out, "%s\t%d\t%s\t%d\t60\t%s\tAS:i:%d\n",
+		_, _ = fmt.Fprintf(out, "%s\t%d\t%s\t%d\t60\t%s\tAS:i:%d\n",
 			recs[i].Name, flagv, refName, rr.Result.RefPos+1, rr.Result.Cigar, rr.Result.Score)
 	}
 	if err := out.Flush(); err != nil {

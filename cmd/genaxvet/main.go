@@ -1,0 +1,133 @@
+// Command genaxvet is the GenAx-specific static analysis suite: a
+// multichecker over the analyzers in internal/lint that enforce, at
+// compile time, the invariants the runtime tests only sample —
+//
+//	hotpath      //genax:hotpath functions contain no heap-allocating
+//	             constructs (defer, closures, make/new, map/slice
+//	             literals, fmt/strings calls, interface boxing)
+//	determinism  the deterministic kernel packages (core, seed, silla,
+//	             sillax, extend, align) contain no map iteration,
+//	             wall-clock reads, unseeded math/rand, or multi-channel
+//	             selects
+//	invariants   no silently dropped error results; exported kernel entry
+//	             points bound-check their edit-distance / segment-index
+//	             parameters
+//
+// Usage:
+//
+//	go run ./cmd/genaxvet ./...
+//	go run ./cmd/genaxvet -tests=false ./internal/seed/...
+//
+// Exit status is 1 when any diagnostic is reported, 2 on driver errors.
+// CI runs it as a required gate; see DESIGN.md ("Static analysis &
+// enforced invariants") for the annotation contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"genax/internal/lint/analysis"
+	"genax/internal/lint/determinism"
+	"genax/internal/lint/hotpath"
+	"genax/internal/lint/invariants"
+	"genax/internal/lint/load"
+)
+
+var analyzers = []*analysis.Analyzer{
+	hotpath.Analyzer,
+	determinism.Analyzer,
+	invariants.Analyzer,
+}
+
+func main() {
+	tests := flag.Bool("tests", true, "also analyze test files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: genaxvet [-tests=false] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cfg := &load.Config{Tests: *tests}
+	pkgs, err := cfg.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genaxvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		pos      token.Position
+		message  string
+		analyzer string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				// A test variant re-checks the non-test files the base
+				// build already covered; only its _test.go findings are new.
+				if pkg.TestVariant && !strings.HasSuffix(pos.Filename, "_test.go") {
+					return
+				}
+				findings = append(findings, finding{pos: pos, message: d.Message, analyzer: a.Name})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "genaxvet: %s: %s: %v\n", pkg.ImportPath, a.Name, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.message < b.message
+	})
+	cwd, _ := os.Getwd()
+	seen := make(map[string]bool)
+	n := 0
+	for _, f := range findings {
+		name := f.pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		line := fmt.Sprintf("%s:%d:%d: %s (%s)", name, f.pos.Line, f.pos.Column, f.message, f.analyzer)
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
+		fmt.Println(line)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "genaxvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"genax/internal/core"
+)
+
+// AllocBudgetResult reports the steady-state heap behaviour of AlignBatch.
+type AllocBudgetResult struct {
+	Reads         int
+	AllocsPerRead float64
+	Budget        float64
+}
+
+// Exceeded reports whether the measurement broke the budget (a budget of 0
+// disables the check).
+func (r AllocBudgetResult) Exceeded() bool {
+	return r.Budget > 0 && r.AllocsPerRead > r.Budget
+}
+
+func (r AllocBudgetResult) String() string {
+	verdict := "within budget"
+	if r.Exceeded() {
+		verdict = "OVER BUDGET"
+	}
+	return fmt.Sprintf("steady-state allocations: %.2f per read over %d reads (budget %.1f) — %s",
+		r.AllocsPerRead, r.Reads, r.Budget, verdict)
+}
+
+// AllocsPerRead measures the steady-state heap allocations per read of the
+// full AlignBatch pipeline: one warm-up batch fills every lane's scratch
+// (seeder buffers, CAM, traceback arena), then a second identical batch is
+// measured via the runtime's mallocs counter. The companion unit test
+// (core.TestAlignBatchSteadyStateAllocs) pins the single-lane inner loop;
+// this covers the whole pipeline including the pool, so its per-read number
+// also carries the per-batch fixed costs (result slices, lane setup)
+// amortized over the workload.
+func AllocsPerRead(spec WorkloadSpec, budget float64) (AllocBudgetResult, error) {
+	wl := spec.Build()
+	reads := ReadSeqs(wl)
+	if len(reads) == 0 {
+		return AllocBudgetResult{}, fmt.Errorf("bench: workload produced no reads")
+	}
+	aligner, err := core.New(wl.Ref, CoreConfig(spec))
+	if err != nil {
+		return AllocBudgetResult{}, err
+	}
+	warm := func() {
+		if res, _ := aligner.AlignBatch(reads); len(res) != len(reads) {
+			panic("bench: AlignBatch dropped reads")
+		}
+	}
+	warm() // fill lane scratch, index-side caches, and grow result buffers
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	warm()
+	runtime.ReadMemStats(&after)
+	perRead := float64(after.Mallocs-before.Mallocs) / float64(len(reads))
+	return AllocBudgetResult{Reads: len(reads), AllocsPerRead: perRead, Budget: budget}, nil
+}

@@ -109,6 +109,7 @@ type countingEngine struct {
 	reruns *int64
 }
 
+//genax:hotpath
 func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
 	res := e.m.Extend(ref, query)
 	*e.cycles += int64(res.Cycles)
@@ -155,6 +156,8 @@ func (l *lane) bind(si *seed.SegmentIndex) {
 }
 
 // merge folds another stats block's work counters into t.
+//
+//genax:hotpath
 func (t *Stats) merge(s Stats) {
 	t.IndexLookups += s.IndexLookups
 	t.CAMLookups += s.CAMLookups
@@ -165,9 +168,18 @@ func (t *Stats) merge(s Stats) {
 	t.ReRuns += s.ReRuns
 }
 
+// exactCigar materializes the single-run cigar of a whole-read exact match.
+// It is the one allocation an adopted fast-path candidate is allowed, kept
+// out of the annotated alignInSegment body on purpose.
+func exactCigar(n int) align.Cigar {
+	return align.Cigar{{Op: align.OpMatch, Len: n}}
+}
+
 // alignInSegment seeds and extends one oriented read against one segment,
 // merging candidates into best. It reports whether the read took the
 // exact-match fast path in this segment.
+//
+//genax:hotpath
 func (l *lane) alignInSegment(q dna.Seq, reverse bool, best *ReadResult) bool {
 	sd := l.sd
 	before := sd.Stats
@@ -196,7 +208,7 @@ func (l *lane) alignInSegment(q dna.Seq, reverse bool, best *ReadResult) bool {
 					Reverse: reverse,
 				}
 				if !best.Aligned || res.Better(best.Result) {
-					res.Cigar = align.Cigar{{Op: align.OpMatch, Len: len(q)}}
+					res.Cigar = exactCigar(len(q))
 					best.Result, best.Aligned = res, true
 				}
 			}
@@ -226,6 +238,7 @@ func (l *lane) alignInSegment(q dna.Seq, reverse bool, best *ReadResult) bool {
 	return exact
 }
 
+//genax:hotpath
 func boolBit(b bool) int64 {
 	if b {
 		return 1

@@ -38,6 +38,7 @@ func newBarrier(parties int) *barrier {
 	return b
 }
 
+//genax:hotpath
 func (b *barrier) await() {
 	b.mu.Lock()
 	gen := b.gen
@@ -57,6 +58,8 @@ func (b *barrier) await() {
 // claimChunk sizes the work-claiming granule: small enough that one worker
 // stuck on expensive extensions cannot strand a long tail of reads behind
 // it, large enough that the atomic cursor stays uncontended.
+//
+//genax:hotpath
 func claimChunk(reads, workers int) int64 {
 	c := reads / (workers * 8)
 	if c < 1 {

@@ -36,6 +36,8 @@ type Engine interface {
 type BandedEngine struct{ A *sw.BandedAligner }
 
 // Extend implements Engine.
+//
+//genax:hotpath
 func (e BandedEngine) Extend(ref, query dna.Seq) Extension {
 	res := e.A.Extend(ref, query)
 	ql := res.Cigar.QueryLen()
@@ -49,6 +51,8 @@ func (e BandedEngine) Extend(ref, query dna.Seq) Extension {
 type SillaXEngine struct{ M *sillax.TracebackMachine }
 
 // Extend implements Engine.
+//
+//genax:hotpath
 func (e SillaXEngine) Extend(ref, query dna.Seq) Extension {
 	res := e.M.Extend(ref, query)
 	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
@@ -70,6 +74,9 @@ type Stitcher struct {
 // bound K). The returned result carries a full-query cigar and does not
 // alias the stitcher's scratch.
 func (st *Stitcher) AlignAt(sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd, refPos, margin int) align.Result {
+	if margin < 0 {
+		margin = 0 // a negative edit bound would shrink the windows below the read
+	}
 	seedLen := seedEnd - seedStart
 
 	// Left extension on reversed strings.
@@ -120,6 +127,9 @@ func (st *Stitcher) AlignAt(sc align.Scoring, ref, read dna.Seq, seedStart, seed
 // AlignAt is the one-shot convenience form of Stitcher.AlignAt; hot paths
 // should hold a Stitcher instead so the reversal scratch is reused.
 func AlignAt(eng Engine, sc align.Scoring, ref, read dna.Seq, seedStart, seedEnd, refPos, margin int) align.Result {
+	if margin < 0 {
+		margin = 0
+	}
 	st := Stitcher{Eng: eng}
 	return st.AlignAt(sc, ref, read, seedStart, seedEnd, refPos, margin)
 }

@@ -32,11 +32,18 @@ func plantRead(r *rand.Rand, ref dna.Seq, pos, readLen, seedS, seedE, e int) dna
 	return read
 }
 
-func engines(k int) map[string]Engine {
+type namedEngine struct {
+	name string
+	eng  Engine
+}
+
+// engines returns the extension engines under test in a fixed order (this
+// package is declared deterministic, so tests must not range over maps).
+func engines(k int) []namedEngine {
 	sc := align.BWAMEMDefaults()
-	return map[string]Engine{
-		"banded": BandedEngine{A: sw.NewBandedAligner(sc, k)},
-		"sillax": SillaXEngine{M: sillax.NewTracebackMachine(k, sc)},
+	return []namedEngine{
+		{"banded", BandedEngine{A: sw.NewBandedAligner(sc, k)}},
+		{"sillax", SillaXEngine{M: sillax.NewTracebackMachine(k, sc)}},
 	}
 }
 
@@ -44,7 +51,8 @@ func TestAlignAtPerfectRead(t *testing.T) {
 	r := rand.New(rand.NewSource(120))
 	ref := randSeq(r, 2000)
 	sc := align.BWAMEMDefaults()
-	for name, eng := range engines(16) {
+	for _, ne := range engines(16) {
+		name, eng := ne.name, ne.eng
 		read := ref[700:801].Clone()
 		res := AlignAt(eng, sc, ref, read, 20, 60, 720, 16)
 		if res.Score != 101 {
@@ -62,7 +70,8 @@ func TestAlignAtPerfectRead(t *testing.T) {
 func TestAlignAtValidCigars(t *testing.T) {
 	r := rand.New(rand.NewSource(121))
 	sc := align.BWAMEMDefaults()
-	for name, eng := range engines(16) {
+	for _, ne := range engines(16) {
+		name, eng := ne.name, ne.eng
 		for trial := 0; trial < 100; trial++ {
 			ref := randSeq(r, 1500)
 			pos := 200 + r.Intn(1000)
@@ -87,12 +96,13 @@ func TestAlignAtEnginesAgree(t *testing.T) {
 	r := rand.New(rand.NewSource(122))
 	sc := align.BWAMEMDefaults()
 	eng := engines(20)
+	banded, sillaX := eng[0].eng, eng[1].eng
 	for trial := 0; trial < 120; trial++ {
 		ref := randSeq(r, 1500)
 		pos := 200 + r.Intn(1000)
 		read := plantRead(r, ref, pos, 101, 45, 65, r.Intn(6))
-		a := AlignAt(eng["banded"], sc, ref, read, 45, 65, pos+45, 20)
-		b := AlignAt(eng["sillax"], sc, ref, read, 45, 65, pos+45, 20)
+		a := AlignAt(banded, sc, ref, read, 45, 65, pos+45, 20)
+		b := AlignAt(sillaX, sc, ref, read, 45, 65, pos+45, 20)
 		if a.Score != b.Score {
 			t.Fatalf("trial %d: banded %d vs sillax %d", trial, a.Score, b.Score)
 		}
@@ -103,7 +113,8 @@ func TestAlignAtSeedAtReadBoundary(t *testing.T) {
 	r := rand.New(rand.NewSource(123))
 	ref := randSeq(r, 500)
 	sc := align.BWAMEMDefaults()
-	for name, eng := range engines(8) {
+	for _, ne := range engines(8) {
+		name, eng := ne.name, ne.eng
 		// Seed at the very start of the read.
 		read := ref[100:150].Clone()
 		res := AlignAt(eng, sc, ref, read, 0, 20, 100, 8)
@@ -127,7 +138,8 @@ func TestAlignAtRefBoundary(t *testing.T) {
 	r := rand.New(rand.NewSource(124))
 	ref := randSeq(r, 200)
 	sc := align.BWAMEMDefaults()
-	for name, eng := range engines(8) {
+	for _, ne := range engines(8) {
+		name, eng := ne.name, ne.eng
 		// Seed so close to the reference start that the left window is
 		// clamped; the left read part must be clipped, not crash.
 		read := append(randSeq(r, 10), ref[0:40]...)
@@ -153,7 +165,8 @@ func TestAlignAtIndelRead(t *testing.T) {
 	ref := randSeq(r, 600)
 	// Read = ref[100:201] with 3 bases deleted at read offset 70.
 	read := append(ref[100:170].Clone(), ref[173:201]...)
-	for name, eng := range engines(16) {
+	for _, ne := range engines(16) {
+		name, eng := ne.name, ne.eng
 		res := AlignAt(eng, sc, ref, read, 10, 50, 110, 16)
 		if err := res.Cigar.Validate(ref[res.RefPos:], read); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -171,7 +184,8 @@ func TestAlignAtIndelRead(t *testing.T) {
 func TestStitcherMatchesOneShot(t *testing.T) {
 	r := rand.New(rand.NewSource(130))
 	sc := align.BWAMEMDefaults()
-	for name, eng := range engines(16) {
+	for _, ne := range engines(16) {
+		name, eng := ne.name, ne.eng
 		st := Stitcher{Eng: eng}
 		ref := randSeq(r, 3000)
 		for trial := 0; trial < 40; trial++ {

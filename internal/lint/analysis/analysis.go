@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API. The build environment for this
+// repository is hermetic (no module proxy), so the upstream module cannot
+// be vendored; this package mirrors its core types — Analyzer, Pass,
+// Diagnostic — closely enough that the analyzers in the sibling packages
+// port to the upstream multichecker unchanged. The driver side
+// (package loading, diagnostic printing) lives in internal/lint/load and
+// cmd/genaxvet.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics, Doc in
+// usage output; Run is invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored at a position in the analyzed
+// package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information to an Analyzer's
+// Run function. Report appends a diagnostic; analyzers must not retain the
+// Pass after Run returns.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not found. It mirrors
+// the helper most analyzers define over pass.TypesInfo.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, consulting both
+// the Defs and Uses maps.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"genax/internal/lint/analysistest"
+	"genax/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// The rules apply inside the declared deterministic packages and nowhere
+	// else: otherpkg holds the same constructs with no expectations.
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
+		"genax/internal/seed", "otherpkg")
+}

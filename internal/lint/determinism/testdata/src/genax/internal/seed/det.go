@@ -1,0 +1,57 @@
+package seed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapIter(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+func sortedIter(keys []string, m map[string]int) int {
+	total := 0
+	for _, k := range keys { // iterating a slice of sorted keys is the fix
+		total += m[k]
+	}
+	return total
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand.Intn in deterministic package`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // seeded constructors are legal
+	return r.Intn(10)                // methods on a seeded generator too
+}
+
+func multiSelect(a, b chan int) int {
+	select { // want `select over 2 channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleSelect(c chan int) int {
+	select { // one channel plus default: no runtime lottery
+	case v := <-c:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,16 @@
+// Package otherpkg is not declared deterministic; the same constructs that
+// are violations in the kernel packages are legal here.
+package otherpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func allAllowed(m map[string]int) int64 {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return time.Now().UnixNano() + int64(total) + int64(rand.Intn(10))
+}

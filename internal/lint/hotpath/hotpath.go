@@ -1,0 +1,230 @@
+// Package hotpath implements the genaxvet analyzer that enforces the
+// allocation contract of functions annotated //genax:hotpath.
+//
+// PR 1 made the AlignBatch steady state allocation-free: every lane owns
+// its scratch (seeder buffers, CAM, traceback arena) and the per-read path
+// through seed → CAM → extend → sillax reuses it. That property is easy to
+// regress silently — one stray fmt call, closure, or map literal brings
+// the garbage collector back into the inner loop. Functions on that path
+// carry a //genax:hotpath doc directive, and this analyzer rejects the
+// heap-allocating constructs of the contract inside them:
+//
+//   - defer statements (delay scratch reuse, allocate defer records)
+//   - go statements (the pool owns all concurrency)
+//   - closure literals (captured variables escape)
+//   - make and new (scratch must be pre-sized by the constructor)
+//   - map and slice composite literals
+//   - &T{...} composite literals (escape to the heap)
+//   - calls into fmt or strings (formatting allocates)
+//   - interface boxing: a concrete value converted, passed, assigned, or
+//     returned as an interface value
+//
+// The check is per-function: callees must themselves be annotated or
+// reviewed. Value composite literals (T{...}) and append are allowed —
+// they stay on the stack / reuse capacity in the steady state, and the
+// alloc-budget tests catch capacity regressions at run time.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"genax/internal/lint/analysis"
+)
+
+// Directive is the doc-comment annotation marking a hot-path function.
+const Directive = "//genax:hotpath"
+
+// Analyzer rejects heap-allocating constructs in //genax:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "reject heap-allocating constructs in //genax:hotpath functions",
+	Run:  run,
+}
+
+// hasDirective reports whether the comment group contains the directive as
+// a stand-alone comment line.
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		annotated := make(map[*ast.CommentGroup]bool)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc) {
+				continue
+			}
+			annotated[fd.Doc] = true
+			if fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+		for _, cg := range f.Comments {
+			if hasDirective(cg) && !annotated[cg] {
+				pass.Reportf(cg.Pos(), "misplaced %s directive: it must be part of a function declaration's doc comment", Directive)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc walks one annotated function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var sig *types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	// Composite literals already reported as part of an enclosing &T{...}.
+	reported := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in %s function %s: captured variables escape to the heap", Directive, name)
+			return false // the closure has its own (non-hot) contract
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in %s function %s: allocates a defer record and delays scratch reuse", Directive, name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in %s function %s: the lane pool owns all concurrency", Directive, name)
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				reported[lit] = true
+				pass.Reportf(n.Pos(), "&%s composite literal in %s function %s escapes to the heap", typeString(pass, lit), Directive, name)
+			}
+		case *ast.CompositeLit:
+			if reported[n] {
+				return true
+			}
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in %s function %s", Directive, name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in %s function %s", Directive, name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					checkBoxing(pass, name, pass.TypeOf(n.Lhs[i]), n.Rhs[i], "assigned")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					checkBoxing(pass, name, sig.Results().At(i).Type(), res, "returned")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall rejects make/new, fmt/strings calls, interface conversions,
+// and arguments boxed into interface parameters.
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	// Builtins: make and new always allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "make" || b.Name() == "new" {
+				pass.Reportf(call.Pos(), "%s allocates in %s function %s: pre-size scratch in the constructor", b.Name(), Directive, name)
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where T is an interface boxes x.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBoxing(pass, name, tv.Type, call.Args[0], "converted")
+		}
+		return
+	}
+	// Calls into formatting packages.
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "strings":
+			pass.Reportf(call.Pos(), "call to %s in %s function %s: formatting allocates", fn.FullName(), Directive, name)
+		}
+	}
+	// Arguments boxed into interface parameters.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, name, pt, arg, "passed")
+	}
+}
+
+// checkBoxing reports expr when it is a concrete (non-interface, non-nil)
+// value flowing into an interface-typed destination.
+func checkBoxing(pass *analysis.Pass, name string, dst types.Type, expr ast.Expr, how string) {
+	if dst == nil {
+		return
+	}
+	if _, isTypeParam := dst.(*types.TypeParam); isTypeParam {
+		return // instantiation-dependent; generics are not annotated
+	}
+	if !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "value of type %s %s as interface %s in %s function %s: boxing allocates",
+		tv.Type, how, dst, Directive, name)
+}
+
+// calleeFunc resolves the called function object, if it is statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// typeString renders the composite literal's type for diagnostics.
+func typeString(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	if t := pass.TypeOf(lit); t != nil {
+		return t.String()
+	}
+	return "T"
+}

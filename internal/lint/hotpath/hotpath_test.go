@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"genax/internal/lint/analysistest"
+	"genax/internal/lint/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hotpathtest")
+}

@@ -1,0 +1,60 @@
+package hotpathtest
+
+import (
+	"fmt"
+	"strings"
+)
+
+type scratch struct {
+	buf []int
+}
+
+func release(s *scratch) { s.buf = s.buf[:0] }
+
+// grow is annotated and clean: append, value composite literals, and calls
+// into non-formatting packages are all allowed on the hot path.
+//
+//genax:hotpath
+func grow(s *scratch, v int) scratch {
+	s.buf = append(s.buf, v)
+	release(s)
+	return scratch{buf: s.buf}
+}
+
+//genax:hotpath
+func alloc(s *scratch, n int) {
+	defer release(s)            // want `defer in //genax:hotpath function alloc`
+	go release(s)               // want `go statement in //genax:hotpath function alloc`
+	f := func() { s.buf = nil } // want `closure literal in //genax:hotpath function alloc`
+	f()
+	s.buf = make([]int, n) // want `make allocates in //genax:hotpath function alloc`
+	p := new(scratch)      // want `new allocates in //genax:hotpath function alloc`
+	_ = p
+	m := map[int]bool{} // want `map literal allocates in //genax:hotpath function alloc`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates in //genax:hotpath function alloc`
+	_ = sl
+	q := &scratch{} // want `&hotpathtest.scratch composite literal in //genax:hotpath function alloc escapes to the heap`
+	_ = q
+	fmt.Println(n)             // want `call to fmt.Println` `value of type int passed as interface`
+	_ = strings.Repeat("a", n) // want `call to strings.Repeat`
+}
+
+type iface interface{ m() }
+
+type impl struct{}
+
+func (impl) m() {}
+
+//genax:hotpath
+func box(v impl) iface {
+	var x iface
+	x = v // want `value of type hotpathtest.impl assigned as interface hotpathtest.iface`
+	_ = x
+	var y any = nil // nil never boxes
+	_ = y
+	return v // want `value of type hotpathtest.impl returned as interface hotpathtest.iface`
+}
+
+//genax:hotpath want `misplaced //genax:hotpath directive`
+type notAFunc struct{}

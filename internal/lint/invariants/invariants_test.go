@@ -1,0 +1,15 @@
+package invariants_test
+
+import (
+	"testing"
+
+	"genax/internal/lint/analysistest"
+	"genax/internal/lint/invariants"
+)
+
+func TestInvariants(t *testing.T) {
+	// invtest exercises the dropped-error rule (it applies everywhere);
+	// the kernel-path package additionally exercises the bound-check rule.
+	analysistest.Run(t, analysistest.TestData(), invariants.Analyzer,
+		"invtest", "genax/internal/sillax")
+}

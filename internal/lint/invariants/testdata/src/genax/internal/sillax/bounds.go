@@ -1,0 +1,34 @@
+package sillax
+
+// Machine stands in for the (K+1)²-sized SillaX grids: an unchecked edit
+// bound reaching the constructor turns into a huge allocation.
+type Machine struct{ k int }
+
+func NewMachine(k int) *Machine { // want `exported kernel entry point NewMachine does not bound-check parameter k`
+	return &Machine{k: k}
+}
+
+func NewCheckedMachine(k int) *Machine {
+	if k < 0 {
+		return nil
+	}
+	return &Machine{k: k}
+}
+
+func Distance(r, q []byte, k int) int { // want `exported kernel entry point Distance does not bound-check parameter k`
+	return len(r) + len(q) + k
+}
+
+func CheckedDistance(r, q []byte, k int) int {
+	if k < 0 {
+		return -1
+	}
+	return len(r) + len(q) + k
+}
+
+// NumStates is pure arithmetic — no slice parameter, no pointer or error
+// result — so the entry-point rule exempts it.
+func NumStates(k int) int { return (k + 1) * (k + 1) }
+
+// helper is unexported: callers inside the package own the invariant.
+func helper(r []byte, k int) int { return len(r) + k }

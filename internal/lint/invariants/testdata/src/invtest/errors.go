@@ -1,0 +1,34 @@
+package invtest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func drops() {
+	mayFail()       // want `error result of invtest.mayFail is dropped`
+	pair()          // want `error result of invtest.pair is dropped`
+	fmt.Errorf("x") // want `error result of fmt.Errorf is dropped`
+}
+
+func handles() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard is an acknowledged decision
+	_, _ = pair()
+	fmt.Println("ok")           // stdout diagnostics are exempt
+	fmt.Fprintf(os.Stderr, "x") // standard streams are exempt
+	var sb strings.Builder      // infallible writers are exempt
+	sb.WriteString("y")
+	var buf bytes.Buffer
+	buf.WriteByte('z')
+	fmt.Fprintln(&sb, "w")
+	return nil
+}

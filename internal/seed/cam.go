@@ -1,7 +1,5 @@
 package seed
 
-import "sort"
-
 // CAM models the 512-entry content-addressable memory each seeding lane
 // uses to intersect hit sets (§V). It tracks the lookup counts that Fig 16b
 // reports. The stored set is the current candidate hits; intersection
@@ -43,6 +41,8 @@ func (c *CAM) ResetStats() { c.Lookups, c.Writes, c.Overflow = 0, 0, 0 }
 // Load replaces the stored set with vals. It reports false (and counts an
 // overflow) when vals exceeds capacity — callers then fall back to binary
 // search on the sorted position table.
+//
+//genax:hotpath
 func (c *CAM) Load(vals []int32) bool {
 	if len(vals) > c.size {
 		c.Overflow++
@@ -64,6 +64,8 @@ func (c *CAM) IntersectProbe(incoming []int32) []int32 {
 
 // IntersectProbeInto is IntersectProbe appending into dst (which may be a
 // reused scratch slice); it returns the extended slice.
+//
+//genax:hotpath
 func (c *CAM) IntersectProbeInto(dst, incoming []int32) []int32 {
 	c.Lookups += len(incoming)
 	for _, v := range incoming {
@@ -76,6 +78,8 @@ func (c *CAM) IntersectProbeInto(dst, incoming []int32) []int32 {
 
 // BinaryCost returns the modelled probe cost of IntersectBinary on the
 // given set sizes: ceil(log2 nHits) probes per candidate.
+//
+//genax:hotpath
 func BinaryCost(nCur, nHits int) int {
 	if nHits == 0 || nCur == 0 {
 		return 0
@@ -96,15 +100,27 @@ func (c *CAM) IntersectBinary(cur []int32, sortedHits []int32) []int32 {
 }
 
 // IntersectBinaryInto is IntersectBinary appending into dst (which may be a
-// reused scratch slice); it returns the extended slice.
+// reused scratch slice); it returns the extended slice. The search is open-
+// coded rather than sort.Search: the closure there costs an allocation per
+// candidate on the hottest intersection path.
+//
+//genax:hotpath
 func (c *CAM) IntersectBinaryInto(dst, cur, sortedHits []int32) []int32 {
 	if len(sortedHits) == 0 || len(cur) == 0 {
 		return dst
 	}
 	c.Lookups += BinaryCost(len(cur), len(sortedHits))
 	for _, v := range cur {
-		i := sort.Search(len(sortedHits), func(j int) bool { return sortedHits[j] >= v })
-		if i < len(sortedHits) && sortedHits[i] == v {
+		lo, hi := 0, len(sortedHits)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if sortedHits[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(sortedHits) && sortedHits[lo] == v {
 			dst = append(dst, v)
 		}
 	}
@@ -119,19 +135,29 @@ func (c *CAM) IntersectChunked(cur []int32, incoming []int32) []int32 {
 	return c.IntersectChunkedInto(nil, cur, incoming)
 }
 
+// ensureMatched returns the cleared per-candidate match-flag scratch, growing
+// it if needed. Growth happens only until the scratch reaches the largest
+// candidate set; it is the one allocation the chunked path amortizes away.
+func (c *CAM) ensureMatched(n int) []bool {
+	if cap(c.matched) < n {
+		c.matched = make([]bool, n)
+	}
+	matched := c.matched[:n]
+	clear(matched)
+	return matched
+}
+
 // IntersectChunkedInto is IntersectChunked appending into dst (which may be
 // a reused scratch slice); it returns the extended slice. The per-candidate
 // match flags live in a scratch slice owned by the CAM and cleared between
 // lookups, so steady-state intersection does not allocate.
+//
+//genax:hotpath
 func (c *CAM) IntersectChunkedInto(dst, cur, incoming []int32) []int32 {
 	if len(cur) == 0 || len(incoming) == 0 {
 		return dst
 	}
-	if cap(c.matched) < len(cur) {
-		c.matched = make([]bool, len(cur))
-	}
-	matched := c.matched[:len(cur)]
-	clear(matched)
+	matched := c.ensureMatched(len(cur))
 	for lo := 0; lo < len(incoming); lo += c.size {
 		hi := lo + c.size
 		if hi > len(incoming) {

@@ -30,6 +30,9 @@ type SegmentIndex struct {
 
 // BuildSegmentIndex indexes ref (one segment) with k-mer length k.
 func BuildSegmentIndex(ref dna.Seq, id, offset, k int) (*SegmentIndex, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("seed: k-mer length %d must be positive", k)
+	}
 	codec, err := dna.NewKmerCodec(k)
 	if err != nil {
 		return nil, err
@@ -114,6 +117,9 @@ func BuildSegmentedIndex(ref dna.Seq, segLen, overlap, k int) (*SegmentedIndex, 
 	}
 	if overlap < 0 {
 		return nil, fmt.Errorf("seed: negative overlap %d", overlap)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("seed: k-mer length %d must be positive", k)
 	}
 	sx := &SegmentedIndex{RefLen: len(ref), SegLen: segLen, Overlap: overlap}
 	for off, id := 0, 0; off < len(ref); off, id = off+segLen, id+1 {

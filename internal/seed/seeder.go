@@ -117,10 +117,14 @@ func (sd *Seeder) Options() Options { return sd.opts }
 
 // adopt records that the caller now holds the most recent intersect result
 // as its live candidate set, so the next intersect writes the other buffer.
+//
+//genax:hotpath
 func (sd *Seeder) adopt() { sd.live ^= 1 }
 
 // lookup charges an index-table access and returns the (sorted, local)
 // hits of the window at read position q.
+//
+//genax:hotpath
 func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
 	hits, ok := sd.si.LookupAt(read, q)
 	if ok {
@@ -136,6 +140,8 @@ func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
 // everything fits, binary-searches the sorted position list when that is
 // cheaper (optimization two), and — with binary search disabled — streams
 // oversized lists through the CAM in chunks.
+//
+//genax:hotpath
 func (sd *Seeder) intersect(cur []int32, raw []int32, delta int32) []int32 {
 	incoming := sd.inBuf[:0]
 	for _, h := range raw {
@@ -180,6 +186,7 @@ func (sd *Seeder) intersect(cur []int32, raw []int32, delta int32) []int32 {
 	return out
 }
 
+//genax:hotpath
 func minOf(vs ...int) int {
 	m := vs[0]
 	for _, v := range vs[1:] {
@@ -193,6 +200,8 @@ func minOf(vs ...int) int {
 // rmem computes the right-maximal exact match from pivot p: the matched
 // length and the candidate positions (local, normalized to p). A length
 // below k means the pivot's own window had no hits.
+//
+//genax:hotpath
 func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 	k := sd.si.K()
 	m := len(read)
@@ -206,7 +215,7 @@ func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 	// strides and continue from the one with the fewest hits.
 	if sd.opts.Probing {
 		bestQ, bestLen := -1, 1<<30
-		for _, s := range []int{k, k/2 + 1, k/4 + 1} {
+		for _, s := range [...]int{k, k/2 + 1, k/4 + 1} {
 			q := p + s
 			if q <= p || q > m-k {
 				continue
@@ -253,6 +262,8 @@ func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 
 // refine runs the stride-halving phase (optimization two) to pin the exact
 // RMEM end between last+k and last+2k, then returns the match.
+//
+//genax:hotpath
 func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) {
 	k := sd.si.K()
 	m := len(read)
@@ -280,6 +291,8 @@ func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) 
 // order, with positions translated to global coordinates. The returned
 // slice and the Positions slices inside it are backed by lane-owned
 // scratch: they are valid only until the next Seed call on this Seeder.
+//
+//genax:hotpath
 func (sd *Seeder) Seed(read dna.Seq) []Seed {
 	sd.Stats.Reads++
 	k := sd.si.K()
@@ -325,6 +338,8 @@ func (sd *Seeder) Seed(read dna.Seq) []Seed {
 // translating to global coordinates and charging the hit counters. When out
 // has spare capacity the Positions buffer of the Seed previously stored in
 // the next slot is recycled, so a warm lane emits without allocating.
+//
+//genax:hotpath
 func (sd *Seeder) emit(out []Seed, start, end int, cur []int32) []Seed {
 	var positions []int32
 	if n := len(out); n < cap(out) {
@@ -345,16 +360,20 @@ func (sd *Seeder) emit(out []Seed, start, end int, cur []int32) []Seed {
 // spanning the whole read, smallest hit set first; a non-empty result is a
 // whole-read exact match and seed-extension can be skipped entirely. On
 // success it returns the lane's seed buffer holding the single seed.
+//
+//genax:hotpath
 func (sd *Seeder) exactMatch(read dna.Seq) ([]Seed, bool) {
 	k := sd.si.K()
 	m := len(read)
 	wins := sd.winBuf[:0]
-	defer func() { sd.winBuf = wins }()
+	// Persist the (possibly grown) window buffer on every exit so the next
+	// read reuses it; a defer would make this function heap-allocate.
 	for q := 0; ; q += k {
 		if q > m-k {
 			if last := m - k; last > wins[len(wins)-1].q {
 				h, ok := sd.lookup(read, last)
 				if !ok || len(h) == 0 {
+					sd.winBuf = wins
 					return nil, false
 				}
 				wins = append(wins, segWin{last, h})
@@ -363,10 +382,12 @@ func (sd *Seeder) exactMatch(read dna.Seq) ([]Seed, bool) {
 		}
 		h, ok := sd.lookup(read, q)
 		if !ok || len(h) == 0 {
+			sd.winBuf = wins
 			return nil, false
 		}
 		wins = append(wins, segWin{q, h})
 	}
+	sd.winBuf = wins
 	// Smallest set first minimizes CAM work.
 	smallest := 0
 	for i, w := range wins {
@@ -404,6 +425,8 @@ func (sd *Seeder) exactMatch(read dna.Seq) ([]Seed, bool) {
 
 // naiveSeeds is the baseline without SMEM filtering: every stride-k window
 // forwards all of its hits to extension (Fig 16a's "naive hash" bar).
+//
+//genax:hotpath
 func (sd *Seeder) naiveSeeds(read dna.Seq) []Seed {
 	k := sd.si.K()
 	m := len(read)

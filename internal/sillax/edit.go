@@ -73,6 +73,7 @@ func (m *EditMachine) K() int { return m.k }
 // layers plus wait states grouped into units, §III-C).
 func (m *EditMachine) NumPEs() int { return 3 * m.w * m.w / 2 }
 
+//genax:hotpath
 func (m *EditMachine) reset() {
 	for i := range m.l0 {
 		m.l0[i], m.l1[i], m.wt[i] = false, false, false
@@ -87,6 +88,8 @@ func (m *EditMachine) reset() {
 }
 
 // shiftIn advances both shift registers, admitting the cycle-c characters.
+//
+//genax:hotpath
 func (m *EditMachine) shiftIn(r, q dna.Seq, c int) {
 	copy(m.rShift[1:], m.rShift[:m.k])
 	copy(m.qShift[1:], m.qShift[:m.k])
@@ -105,6 +108,8 @@ func (m *EditMachine) shiftIn(r, q dna.Seq, c int) {
 // refreshComparisons implements the comparator periphery and the diagonal
 // shift: PEs (i,0) and (0,d) get fresh comparisons from the 2K+1
 // comparators; interior PE (i,d) latches what PE (i-1,d-1) held last cycle.
+//
+//genax:hotpath
 func (m *EditMachine) refreshComparisons() {
 	w := m.w
 	// Interior first (reads old comp values).
@@ -129,6 +134,8 @@ func (m *EditMachine) refreshComparisons() {
 
 // Distance runs the machine over r and q and reports their edit distance
 // when it is at most K. Cycle count is left in m.Cycles.
+//
+//genax:hotpath
 func (m *EditMachine) Distance(r, q dna.Seq) (dist int, ok bool) {
 	k, w := m.k, m.w
 	n, q2 := len(r), len(q)

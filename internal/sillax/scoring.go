@@ -71,6 +71,7 @@ func NewScoringMachine(k int, sc align.Scoring) *ScoringMachine {
 // K returns the edit bound.
 func (m *ScoringMachine) K() int { return m.k }
 
+//genax:hotpath
 func (m *ScoringMachine) reset() {
 	for i := range m.m0 {
 		m.m0[i], m.i0[i], m.d0[i] = neg, neg, neg
@@ -84,6 +85,7 @@ func (m *ScoringMachine) reset() {
 	m.Cycles = 0
 }
 
+//genax:hotpath
 func max3(a, b, c int32) int32 {
 	if b > a {
 		a = b
@@ -97,6 +99,8 @@ func max3(a, b, c int32) int32 {
 // Extend streams ref and query through the machine anchored at position 0
 // of both and returns the best clipped extension score — the hardware twin
 // of BWA-MEM's seed-extension with clipping.
+//
+//genax:hotpath
 func (m *ScoringMachine) Extend(ref, query dna.Seq) ExtendResult {
 	k, w := m.k, m.w
 	n, q2 := len(ref), len(query)

@@ -157,6 +157,7 @@ func (m *TracebackMachine) reset() {
 	m.arena.n = 0
 }
 
+//genax:hotpath
 func best3(a, b, c treg) treg {
 	r := a
 	if b.v > r.v {
@@ -170,6 +171,8 @@ func best3(a, b, c treg) treg {
 
 // Extend runs a traced seed extension of query against ref, both anchored
 // at position 0, with clipping.
+//
+//genax:hotpath
 func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
 	k, w := m.k, m.w
 	n, qn := len(ref), len(query)
@@ -364,6 +367,8 @@ func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
 // only those move the state's traceback pointer; self-match growth raises
 // the best score but the pointer — and the cycle register the controller
 // uses to reconstruct match counts — stay tied to the same visit.
+//
+//genax:hotpath
 func (m *TracebackMachine) noteBest(state, v int32, edge align.Op, incoming bool) {
 	if v > m.stBest[state] {
 		m.stBest[state] = v
