@@ -14,7 +14,9 @@
 // -cpuprofile/-memprofile write pprof profiles of the selected experiment
 // (see EXPERIMENTS.md for the profiling workflow); -allocbudget N measures
 // steady-state AlignBatch heap allocations per read after the experiment
-// and exits non-zero when they exceed N.
+// and exits non-zero when they exceed N; -stages prints the per-stage
+// wall-clock and queue-occupancy breakdown of the staged pipeline (the
+// Fig 11 seed/extend lane balance).
 package main
 
 import (
@@ -43,6 +45,8 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	allocbudget := flag.Float64("allocbudget", 0,
 		"after the experiment, measure steady-state AlignBatch allocations per read and fail if above this budget (0 disables)")
+	stages := flag.Bool("stages", false,
+		"after the experiment, print the per-stage wall-clock and queue-occupancy breakdown (Fig 11 lane balance)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: genax-bench [flags] {fig12|fig13|fig14|fig15|fig16|table2|validate|all}\n")
 		flag.PrintDefaults()
@@ -112,7 +116,7 @@ func run() int {
 			fmt.Printf("==== %s ====\n", k)
 			experiments[k]()
 		}
-		return checkAllocBudget(spec, *allocbudget)
+		return runChecks(spec, *allocbudget, *stages)
 	}
 	f, ok := experiments[name]
 	if !ok {
@@ -121,7 +125,20 @@ func run() int {
 		return 2
 	}
 	f()
-	return checkAllocBudget(spec, *allocbudget)
+	return runChecks(spec, *allocbudget, *stages)
+}
+
+// runChecks executes the post-experiment measurements (-stages, -allocbudget).
+func runChecks(spec bench.WorkloadSpec, budget float64, stages bool) int {
+	if stages {
+		br, err := bench.Stages(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genax-bench: stages: %v\n", err)
+			return 1
+		}
+		fmt.Println(br)
+	}
+	return checkAllocBudget(spec, budget)
 }
 
 // checkAllocBudget runs the steady-state allocation measurement when a

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -178,6 +179,7 @@ func cmdAlign(args []string) error {
 	segLen := fs.Int("segment", 1<<20, "segment length (bases)")
 	k := fs.Int("k", 40, "SillaX edit bound")
 	stats := fs.Bool("stats", false, "print pipeline statistics to stderr")
+	stream := fs.Bool("stream", false, "align via the streaming pipeline (bounded memory, results emitted as windows complete)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,20 +211,33 @@ func cmdAlign(args []string) error {
 	for i, r := range recs {
 		reads[i] = r.Seq
 	}
-	results, st := aligner.AlignBatch(reads)
 	out := bufio.NewWriter(os.Stdout)
 	// bufio errors are sticky; the checked Flush below surfaces them.
-	for i, rr := range results {
-		if !rr.Aligned {
-			_, _ = fmt.Fprintf(out, "%s\t4\t*\t0\t0\t*\tAS:i:0\n", recs[i].Name)
-			continue
+	var st *core.Stats
+	if *stream {
+		// The streaming path holds only a bounded window of reads in
+		// flight; records are written as each window completes, in input
+		// order, and are byte-identical to the batch path's output.
+		in := make(chan dna.Seq)
+		results, streamStats := aligner.AlignStream(context.Background(), in)
+		go func() {
+			for _, rd := range reads {
+				in <- rd
+			}
+			close(in)
+		}()
+		i := 0
+		for rr := range results {
+			writeRecord(out, recs[i].Name, refName, rr)
+			i++
 		}
-		flagv := 0
-		if rr.Result.Reverse {
-			flagv = 16
+		st = streamStats
+	} else {
+		results, batchStats := aligner.AlignBatch(reads)
+		for i, rr := range results {
+			writeRecord(out, recs[i].Name, refName, rr)
 		}
-		_, _ = fmt.Fprintf(out, "%s\t%d\t%s\t%d\t60\t%s\tAS:i:%d\n",
-			recs[i].Name, flagv, refName, rr.Result.RefPos+1, rr.Result.Cigar, rr.Result.Score)
+		st = &batchStats
 	}
 	if err := out.Flush(); err != nil {
 		return err
@@ -232,6 +247,20 @@ func cmdAlign(args []string) error {
 			st.Reads, st.Aligned, st.ExactReads, st.Segments, st.Extensions, st.ExtensionCycles, st.ReRuns)
 	}
 	return nil
+}
+
+// writeRecord emits one SAM-like record for an alignment result.
+func writeRecord(out *bufio.Writer, qname, refName string, rr core.ReadResult) {
+	if !rr.Aligned {
+		_, _ = fmt.Fprintf(out, "%s\t4\t*\t0\t0\t*\tAS:i:0\n", qname)
+		return
+	}
+	flagv := 0
+	if rr.Result.Reverse {
+		flagv = 16
+	}
+	_, _ = fmt.Fprintf(out, "%s\t%d\t%s\t%d\t60\t%s\tAS:i:%d\n",
+		qname, flagv, refName, rr.Result.RefPos+1, rr.Result.Cigar, rr.Result.Score)
 }
 
 // cmdEval scores an alignment file produced by `genax align` against the

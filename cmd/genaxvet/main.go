@@ -5,8 +5,8 @@
 //	hotpath      //genax:hotpath functions contain no heap-allocating
 //	             constructs (defer, closures, make/new, map/slice
 //	             literals, fmt/strings calls, interface boxing)
-//	determinism  the deterministic kernel packages (core, seed, silla,
-//	             sillax, extend, align) contain no map iteration,
+//	determinism  the deterministic kernel packages (core, pipeline, seed,
+//	             silla, sillax, extend, align) contain no map iteration,
 //	             wall-clock reads, unseeded math/rand, or multi-channel
 //	             selects
 //	invariants   no silently dropped error results; exported kernel entry

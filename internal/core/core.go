@@ -1,21 +1,37 @@
-// Package core is the GenAx top level (§VI): it couples the seeding lanes
-// (package seed) to the SillaX extension lanes (package sillax via package
-// extend) and runs reads through the reference segment by segment, exactly
-// like the chip streams per-segment tables into SRAM and drains the hit
-// buffers through four traceback machines.
+// Package core is the GenAx top level (§VI): it binds a reference and its
+// per-segment tables to the staged execution engine in internal/pipeline,
+// which couples the seeding lanes (package seed) to the SillaX extension
+// lanes (package sillax via package extend) through bounded queues —
+// exactly like the chip streams per-segment tables into SRAM and drains
+// the hit buffers through four traceback machines. This package is the
+// stable API surface; the stage graph, lane pools, backpressure, and
+// result merging all live in internal/pipeline.
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 
 	"genax/internal/align"
 	"genax/internal/dna"
-	"genax/internal/extend"
 	"genax/internal/hw"
+	"genax/internal/pipeline"
 	"genax/internal/seed"
-	"genax/internal/sillax"
 )
+
+// Stats aggregates pipeline work counters (the measured coefficients the
+// hw throughput model consumes).
+type Stats = pipeline.Stats
+
+// ReadResult is the outcome for one read in a batch.
+type ReadResult = pipeline.ReadResult
+
+// Instrument collects per-stage busy time and queue occupancy; see
+// pipeline.Instrument.
+type Instrument = pipeline.Instrument
+
+// StageMetrics is one stage's share of an Instrument.
+type StageMetrics = pipeline.StageMetrics
 
 // Config parametrizes a GenAx instance.
 type Config struct {
@@ -33,10 +49,21 @@ type Config struct {
 	Seeding seed.Options
 	// MinScore suppresses alignments below the BWA-MEM reporting floor.
 	MinScore int
-	// Workers bounds goroutines in AlignBatch (0 = GOMAXPROCS); it
-	// models the 128 seeding / 4 SillaX lanes only in the statistics,
-	// not in scheduling.
+	// Workers is the total lane budget across the seed and extend pools
+	// (0 = GOMAXPROCS), split in the chip's 128:4 proportion unless
+	// SeedLanes/ExtendLanes override it.
 	Workers int
+	// SeedLanes and ExtendLanes pin the per-stage worker counts
+	// explicitly (0 = derive from Workers via pipeline.SplitLanes).
+	SeedLanes, ExtendLanes int
+	// MaxCandidates caps extension candidates per (read, strand, segment)
+	// after deduplication (0 = unlimited).
+	MaxCandidates int
+	// StreamWindow bounds reads in flight per AlignStream window
+	// (0 = pipeline.DefaultWindow).
+	StreamWindow int
+	// Instrument, when non-nil, collects per-stage metrics.
+	Instrument *Instrument
 }
 
 // DefaultConfig mirrors the paper, scaled to a laptop-sized reference.
@@ -52,32 +79,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats aggregates pipeline work counters (the measured coefficients the
-// hw throughput model consumes).
-type Stats struct {
-	Reads, Aligned, ExactReads int
-	Segments                   int
-	IndexLookups, CAMLookups   int64
-	SeedsEmitted, HitsEmitted  int64
-	Extensions                 int64
-	ExtensionCycles            int64
-	ReRuns                     int64
-}
-
-// ReadResult is the outcome for one read in a batch.
-type ReadResult struct {
-	Result  align.Result
-	Aligned bool
-}
-
 // Aligner is a GenAx instance bound to one reference.
 type Aligner struct {
 	cfg   Config
 	ref   dna.Seq
 	index *seed.SegmentedIndex
+	pipe  *pipeline.Pipeline
 }
 
-// New builds the per-segment tables for ref.
+// New builds the per-segment tables for ref and the staged pipeline over
+// them.
 func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("core: edit bound %d must be positive", cfg.K)
@@ -89,7 +100,22 @@ func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Aligner{cfg: cfg, ref: ref, index: idx}, nil
+	pipe, err := pipeline.New(ref, idx, pipeline.Params{
+		K:             cfg.K,
+		Scoring:       cfg.Scoring,
+		Seeding:       cfg.Seeding,
+		MinScore:      cfg.MinScore,
+		Workers:       cfg.Workers,
+		SeedLanes:     cfg.SeedLanes,
+		ExtendLanes:   cfg.ExtendLanes,
+		MaxCandidates: cfg.MaxCandidates,
+		Window:        cfg.StreamWindow,
+		Instrument:    cfg.Instrument,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{cfg: cfg, ref: ref, index: idx, pipe: pipe}, nil
 }
 
 // Config returns the configuration.
@@ -101,202 +127,28 @@ func (a *Aligner) Ref() dna.Seq { return a.ref }
 // NumSegments returns the segment count.
 func (a *Aligner) NumSegments() int { return a.index.NumSegments() }
 
-// countingEngine wraps a SillaX lane, accumulating cycle and re-run
-// counters across extensions.
-type countingEngine struct {
-	m      *sillax.TracebackMachine
-	cycles *int64
-	reruns *int64
-}
-
-//genax:hotpath
-func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
-	res := e.m.Extend(ref, query)
-	*e.cycles += int64(res.Cycles)
-	*e.reruns += int64(res.ReRuns)
-	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
-}
-
-// lane is one worker's persistent state, mirroring a hardware lane: the
-// SillaX traceback machine, the seeding lane (rebound to each segment's
-// tables with bind), the extension stitcher, the anchor-dedup set, and the
-// work counters all live as long as the batch.
-type lane struct {
-	a       *Aligner
-	eng     countingEngine
-	sd      *seed.Seeder
-	st      extend.Stitcher
-	stats   Stats
-	anchors map[int64]struct{}
-	// trace, when non-nil, collects per-(read,segment) lane work items
-	// for the Fig 11 scheduling simulation.
-	trace *[]hw.LaneWork
-}
-
-func (a *Aligner) newLane() *lane {
-	l := &lane{a: a, anchors: make(map[int64]struct{})}
-	l.eng = countingEngine{
-		m:      sillax.NewTracebackMachine(a.cfg.K, a.cfg.Scoring),
-		cycles: &l.stats.ExtensionCycles,
-		reruns: &l.stats.ReRuns,
-	}
-	l.st = extend.Stitcher{Eng: l.eng}
-	return l
-}
-
-// bind points the lane's seeding hardware at a segment's tables, streaming
-// them in like the chip does; the seeder itself (CAM, scratch, counters)
-// persists across segments.
-func (l *lane) bind(si *seed.SegmentIndex) {
-	if l.sd == nil {
-		l.sd = seed.NewSeeder(si, l.a.cfg.Seeding)
-	} else {
-		l.sd.Reset(si)
-	}
-}
-
-// merge folds another stats block's work counters into t.
-//
-//genax:hotpath
-func (t *Stats) merge(s Stats) {
-	t.IndexLookups += s.IndexLookups
-	t.CAMLookups += s.CAMLookups
-	t.SeedsEmitted += s.SeedsEmitted
-	t.HitsEmitted += s.HitsEmitted
-	t.Extensions += s.Extensions
-	t.ExtensionCycles += s.ExtensionCycles
-	t.ReRuns += s.ReRuns
-}
-
-// exactCigar materializes the single-run cigar of a whole-read exact match.
-// It is the one allocation an adopted fast-path candidate is allowed, kept
-// out of the annotated alignInSegment body on purpose.
-func exactCigar(n int) align.Cigar {
-	return align.Cigar{{Op: align.OpMatch, Len: n}}
-}
-
-// alignInSegment seeds and extends one oriented read against one segment,
-// merging candidates into best. It reports whether the read took the
-// exact-match fast path in this segment.
-//
-//genax:hotpath
-func (l *lane) alignInSegment(q dna.Seq, reverse bool, best *ReadResult) bool {
-	sd := l.sd
-	before := sd.Stats
-	seeds := sd.Seed(q)
-	after := sd.Stats
-	l.stats.IndexLookups += int64(after.IndexLookups - before.IndexLookups)
-	l.stats.CAMLookups += int64(after.CAMLookups - before.CAMLookups)
-	l.stats.SeedsEmitted += int64(after.SeedsEmitted - before.SeedsEmitted)
-	l.stats.HitsEmitted += int64(after.HitsEmitted - before.HitsEmitted)
-	exact := after.ExactReads > before.ExactReads
-	var workItem hw.LaneWork
-	if l.trace != nil {
-		workItem.SeedOps = int64(after.IndexLookups-before.IndexLookups) +
-			int64(after.CAMLookups-before.CAMLookups)
-	}
-	clear(l.anchors)
-	for _, s := range seeds {
-		if exact {
-			// Whole-read exact match: no extension needed (§V). The cigar
-			// is materialized only when the candidate is adopted, so the
-			// fast path stays allocation-free for out-scored positions.
-			for _, h := range s.Positions {
-				res := align.Result{
-					RefPos:  int(h),
-					Score:   len(q) * l.a.cfg.Scoring.Match,
-					Reverse: reverse,
-				}
-				if !best.Aligned || res.Better(best.Result) {
-					res.Cigar = exactCigar(len(q))
-					best.Result, best.Aligned = res, true
-				}
-			}
-			continue
-		}
-		for _, h := range s.Positions {
-			key := int64(int(h)-s.Start)<<1 | boolBit(reverse)
-			if _, dup := l.anchors[key]; dup {
-				continue
-			}
-			l.anchors[key] = struct{}{}
-			cyclesBefore := l.stats.ExtensionCycles
-			res := l.st.AlignAt(l.a.cfg.Scoring, l.a.ref, q, s.Start, s.End, int(h), l.a.cfg.K)
-			res.Reverse = reverse
-			l.stats.Extensions++
-			if l.trace != nil {
-				workItem.ExtJobs = append(workItem.ExtJobs, l.stats.ExtensionCycles-cyclesBefore)
-			}
-			if !best.Aligned || res.Better(best.Result) {
-				best.Result, best.Aligned = res, true
-			}
-		}
-	}
-	if l.trace != nil {
-		*l.trace = append(*l.trace, workItem)
-	}
-	return exact
-}
-
-//genax:hotpath
-func boolBit(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
 // AlignBatch maps all reads, processing the reference segment-major like
 // the chip: for each segment, every read is seeded against that segment's
 // tables and surviving hits are extended, keeping each read's best
-// alignment across segments. Work is sharded over Workers goroutines.
+// alignment across segments.
 func (a *Aligner) AlignBatch(reads []dna.Seq) ([]ReadResult, Stats) {
-	res, stats, _ := a.alignBatch(reads, false)
-	return res, stats
+	return a.pipe.AlignBatch(reads)
 }
 
 // AlignBatchTraced is AlignBatch plus the per-(read,segment) work items
 // consumed by hw.SimulateLanes (the Fig 11 lane-scheduling model).
 func (a *Aligner) AlignBatchTraced(reads []dna.Seq) ([]ReadResult, Stats, []hw.LaneWork) {
-	return a.alignBatch(reads, true)
+	return a.pipe.AlignBatchTraced(reads)
 }
 
-func (a *Aligner) alignBatch(reads []dna.Seq, traceWork bool) ([]ReadResult, Stats, []hw.LaneWork) {
-	workers := a.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(reads) && len(reads) > 0 {
-		workers = len(reads)
-	}
-	results := make([]ReadResult, len(reads))
-	exactFlags := make([]bool, len(reads))
-	revs := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		revs[i] = r.RevComp()
-	}
-	total, allWork := a.runPool(workers, reads, revs, results, exactFlags, traceWork)
-	total.Reads = len(reads)
-	total.Segments = a.index.NumSegments()
-	for i := range results {
-		if results[i].Aligned && results[i].Result.Score < a.cfg.MinScore {
-			results[i] = ReadResult{}
-		}
-		if results[i].Aligned {
-			total.Aligned++
-		}
-		if exactFlags[i] {
-			total.ExactReads++
-		}
-	}
-	return results, total, allWork
+// AlignStream maps reads arriving on in, emitting results in input order
+// with a bounded window of reads in flight; see pipeline.AlignStream.
+func (a *Aligner) AlignStream(ctx context.Context, in <-chan dna.Seq) (<-chan ReadResult, *Stats) {
+	return a.pipe.AlignStream(ctx, in)
 }
 
-// AlignRead maps a single read (both strands, all segments).
+// AlignRead maps a single read (both strands, all segments) through a
+// pooled fused lane — no per-call pipeline construction.
 func (a *Aligner) AlignRead(read dna.Seq) (align.Result, bool) {
-	res, _ := a.AlignBatch([]dna.Seq{read})
-	if !res[0].Aligned {
-		return align.Result{}, false
-	}
-	return res[0].Result, true
+	return a.pipe.AlignRead(read)
 }

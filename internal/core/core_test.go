@@ -208,6 +208,54 @@ func TestMinScoreGate(t *testing.T) {
 	}
 }
 
+// TestMinScoreEdge pins the Aligned && Score < MinScore edge on a read
+// with a known exact score: a mutated boundary read scoring 91 must be
+// suppressed at MinScore 92 — with its extension work still counted,
+// since the gate sits after the merge, not inside the lanes — and
+// reported untouched at MinScore 91.
+func TestMinScoreEdge(t *testing.T) {
+	wl := sim.NewWorkload(313, 40000, sim.VariantProfile{}, sim.ReadProfile{Length: 101, Coverage: 0})
+	cfg := smallConfig()
+	p := cfg.SegmentLen - 50
+	read := wl.Ref[p : p+101].Clone()
+	read[10] ^= 1
+	read[80] ^= 2 // two SNPs: score 99*1 - 2*4 = 91
+
+	cfg.MinScore = 91
+	a, err := New(wl.Ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats := a.AlignBatch([]dna.Seq{read})
+	if !results[0].Aligned || results[0].Result.Score != 91 {
+		t.Fatalf("at-floor read: %+v", results[0])
+	}
+	if stats.Aligned != 1 {
+		t.Errorf("stats.Aligned = %d, want 1", stats.Aligned)
+	}
+
+	cfg.MinScore = 92
+	a, err = New(wl.Ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats = a.AlignBatch([]dna.Seq{read})
+	if results[0].Aligned || results[0].Result.Score != 0 || results[0].Result.Cigar != nil {
+		t.Fatalf("sub-floor alignment leaked: %+v", results[0])
+	}
+	if stats.Aligned != 0 {
+		t.Errorf("stats.Aligned = %d, want 0", stats.Aligned)
+	}
+	if stats.Extensions == 0 {
+		t.Error("extension work uncounted: the gate must sit after the merge, not suppress the work")
+	}
+
+	// The single-read fast path shares the same gate.
+	if _, ok := a.AlignRead(read); ok {
+		t.Error("AlignRead leaked a sub-MinScore alignment")
+	}
+}
+
 func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	wl := testWorkload(306, 25000, 0.02)
 	reads := make([]dna.Seq, 40)

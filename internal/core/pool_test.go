@@ -24,9 +24,10 @@ func poolWorkload(t *testing.T, n int) (*sim.Workload, []dna.Seq) {
 	return wl, reads
 }
 
-// TestAlignBatchDeterministic asserts dynamic work claiming cannot change
-// output: results must be byte-identical (position, score, strand, cigar)
-// between a single-lane pool and a wide one.
+// TestAlignBatchDeterministic asserts dynamic work claiming and the
+// decoupled extend lanes cannot change output: results must be
+// byte-identical (position, score, strand, cigar) between a single-lane
+// pipeline and a wide one.
 func TestAlignBatchDeterministic(t *testing.T) {
 	wl, reads := poolWorkload(t, 60)
 	cfg1 := smallConfig()
@@ -62,46 +63,10 @@ func TestAlignBatchDeterministic(t *testing.T) {
 	}
 }
 
-// TestAlignBatchSteadyStateAllocs pins the allocation budget of the align
-// hot path: with every lane buffer warm, aligning a read (both strands,
-// all segments) may allocate only the adopted result cigars — the budget
-// below is a hard ceiling, kept deliberately above the measured value but
-// far below the pre-pool cost (hundreds of allocations per read).
-func TestAlignBatchSteadyStateAllocs(t *testing.T) {
-	wl, reads := poolWorkload(t, 30)
-	a, err := New(wl.Ref, smallConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	revs := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		revs[i] = r.RevComp()
-	}
-	l := a.newLane()
-	sweep := func() {
-		for _, si := range a.index.Samples {
-			l.bind(si)
-			for i := range reads {
-				var best ReadResult
-				l.alignInSegment(reads[i], false, &best)
-				l.alignInSegment(revs[i], true, &best)
-			}
-		}
-	}
-	sweep() // warm the lane's scratch buffers
-	avg := testing.AllocsPerRun(10, sweep)
-	perRead := avg / float64(len(reads))
-	const budget = 12.0
-	if perRead > budget {
-		t.Errorf("steady-state align path allocates %.2f per read, budget %.1f", perRead, budget)
-	}
-	t.Logf("steady-state allocs: %.2f per read (budget %.1f)", perRead, budget)
-}
-
-// TestAlignBatchConcurrentBatches exercises the atomic work cursors and
-// the segment barrier under the race detector: several batches run
-// concurrently over one (read-only) Aligner, and every one must produce
-// the same results.
+// TestAlignBatchConcurrentBatches exercises the atomic work cursors, the
+// segment barrier, and the stage queues under the race detector: several
+// batches run concurrently over one (read-only) Aligner, and every one
+// must produce the same results.
 func TestAlignBatchConcurrentBatches(t *testing.T) {
 	wl, reads := poolWorkload(t, 48)
 	cfg := smallConfig()
@@ -130,25 +95,6 @@ func TestAlignBatchConcurrentBatches(t *testing.T) {
 			if want[i].Aligned && got[b][i].Result.String() != want[i].Result.String() {
 				t.Fatalf("batch %d read %d: %v vs %v", b, i, got[b][i].Result, want[i].Result)
 			}
-		}
-	}
-}
-
-// TestClaimChunk pins the claiming granule's bounds.
-func TestClaimChunk(t *testing.T) {
-	cases := []struct {
-		reads, workers int
-		want           int64
-	}{
-		{0, 4, 1},
-		{10, 4, 1},
-		{256, 4, 8},
-		{100000, 4, 32},
-		{64, 8, 1},
-	}
-	for _, tc := range cases {
-		if got := claimChunk(tc.reads, tc.workers); got != tc.want {
-			t.Errorf("claimChunk(%d, %d) = %d, want %d", tc.reads, tc.workers, got, tc.want)
 		}
 	}
 }

@@ -141,3 +141,13 @@ func AppendReverse(dst, s Seq) Seq {
 	}
 	return dst
 }
+
+// AppendRevComp appends the reverse complement of s to dst and returns the
+// extended slice — the scratch-reusing form of RevComp for hot paths that
+// complement many reads into one backing buffer.
+func AppendRevComp(dst, s Seq) Seq {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst = append(dst, s[i].Complement())
+	}
+	return dst
+}

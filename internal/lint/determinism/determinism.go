@@ -28,12 +28,13 @@ import (
 // Packages are the import paths declared deterministic. DESIGN.md
 // documents the contract; extend the set when a new kernel package lands.
 var Packages = map[string]bool{
-	"genax/internal/align":  true,
-	"genax/internal/core":   true,
-	"genax/internal/extend": true,
-	"genax/internal/seed":   true,
-	"genax/internal/silla":  true,
-	"genax/internal/sillax": true,
+	"genax/internal/align":    true,
+	"genax/internal/core":     true,
+	"genax/internal/extend":   true,
+	"genax/internal/pipeline": true,
+	"genax/internal/seed":     true,
+	"genax/internal/silla":    true,
+	"genax/internal/sillax":   true,
 }
 
 // seededConstructors are math/rand package-level functions that build

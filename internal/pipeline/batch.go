@@ -1,0 +1,64 @@
+package pipeline
+
+import "genax/internal/hw"
+
+// Candidate flags. candReverse occupies bit 0 so the filter's diagonal key
+// reproduces the fused loop's (diagonal<<1 | strand) layout exactly.
+const (
+	candReverse = 1 << 0 // reverse-complement strand
+	candExact   = 1 << 1 // whole-read exact match: skip extension (§V)
+)
+
+// cand is one extension candidate: read[seedStart:seedEnd] matches the
+// reference exactly at refPos (global coordinate of seedStart). Candidates
+// appear in a batch in canonical order — forward strand before reverse,
+// seeds in read order, hits in position order — which is what gives every
+// candidate its deterministic merge rank.
+type cand struct {
+	read               int32 // window-relative read index
+	seedStart, seedEnd int32
+	refPos             int32
+	workIdx            int32 // index into batch.work, -1 when untraced
+	flags              uint8
+}
+
+// batch is the unit flowing through the stage queues: every candidate both
+// strands of one chunk of reads produced against one segment. Batches are
+// drawn from a fixed free list (the pipeline's backpressure credits) and
+// recycled after extension, so steady-state flow does not allocate.
+type batch struct {
+	win   *window
+	seg   int32
+	lane  int32 // destination extend lane (chunk-affine: one writer per slot)
+	cands []cand
+	// work holds one hw.LaneWork per (read, strand) seeded into this batch
+	// when the window is traced: SeedOps filled by the seed stage, ExtJobs
+	// appended by the extend stage.
+	work []hw.LaneWork
+}
+
+// reset rebinds a recycled batch to a window and segment.
+//
+//genax:hotpath
+func (b *batch) reset(w *window, seg int32) {
+	b.win = w
+	b.seg = seg
+	b.lane = 0
+	b.cands = b.cands[:0]
+	b.work = b.work[:0]
+}
+
+// recycle marks the batch finished against its window and returns it to
+// the free list. Traced ExtJobs slices have been handed to the lane trace,
+// so they are dropped (not reused) to avoid aliasing.
+func (b *batch) recycle(free chan<- *batch) {
+	w := b.win
+	b.cands = b.cands[:0]
+	for i := range b.work {
+		b.work[i] = hw.LaneWork{}
+	}
+	b.work = b.work[:0]
+	b.win = nil
+	free <- b
+	w.finishBatch()
+}

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/extend"
+	"genax/internal/hw"
+	"genax/internal/sillax"
+)
+
+// countingEngine wraps a SillaX lane, accumulating cycle and re-run
+// counters across extensions.
+type countingEngine struct {
+	m      *sillax.TracebackMachine
+	cycles *int64
+	reruns *int64
+}
+
+//genax:hotpath
+func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
+	res := e.m.Extend(ref, query)
+	*e.cycles += int64(res.Cycles)
+	*e.reruns += int64(res.ReRuns)
+	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+}
+
+// extendLane is one ExtendStage worker's persistent state: the SillaX
+// traceback machine, the extension stitcher with its reversal scratch,
+// work counters, and — when tracing — the lane-local hw.LaneWork list.
+type extendLane struct {
+	p     *Pipeline
+	eng   countingEngine
+	st    extend.Stitcher
+	stats Stats
+	trace []hw.LaneWork
+}
+
+func (p *Pipeline) newExtendLane() *extendLane {
+	l := &extendLane{p: p}
+	l.eng = countingEngine{
+		m:      sillax.NewTracebackMachine(p.params.K, p.params.Scoring),
+		cycles: &l.stats.ExtensionCycles,
+		reruns: &l.stats.ReRuns,
+	}
+	l.st = extend.Stitcher{Eng: l.eng}
+	return l
+}
+
+// exactCigar materializes the single-run cigar of a whole-read exact match.
+// It is the one allocation an adopted fast-path candidate is allowed, kept
+// out of the annotated process body on purpose.
+func exactCigar(n int) align.Cigar {
+	return align.Cigar{{Op: align.OpMatch, Len: n}}
+}
+
+// betterThan reports whether a candidate result with the given canonical
+// rank should replace the slot's incumbent: strictly better under
+// align.Result's total order, or equal with a lower rank. Because the
+// order is total, this merge is associative and commutative — the slot
+// converges to the same value under any batch interleaving.
+//
+//genax:hotpath
+func betterThan(res align.Result, rank int64, sl *slot) bool {
+	if !sl.aligned {
+		return true
+	}
+	if res.Better(sl.res) {
+		return true
+	}
+	if sl.res.Better(res) {
+		return false
+	}
+	return rank < sl.rank
+}
+
+// process runs every candidate of a batch through the SillaX lane and
+// merges outcomes into the window's slots. Slot writes need no lock: all
+// batches of a chunk route to one extend lane, so each slot has a single
+// writer. Exact-match candidates skip extension — their score is the full
+// match and the cigar is materialized only on adoption, keeping the fast
+// path allocation-free for out-scored positions.
+//
+//genax:hotpath
+func (l *extendLane) process(b *batch) {
+	w := b.win
+	segRank := int64(b.seg) << 32
+	scoring := l.p.params.Scoring
+	for i := range b.cands {
+		c := &b.cands[i]
+		rank := segRank | int64(i)
+		sl := &w.slots[c.read]
+		reverse := c.flags&candReverse != 0
+		if c.flags&candExact != 0 {
+			n := len(w.reads[c.read])
+			res := align.Result{RefPos: int(c.refPos), Score: n * scoring.Match, Reverse: reverse}
+			if betterThan(res, rank, sl) {
+				res.Cigar = exactCigar(n)
+				sl.res, sl.rank, sl.aligned = res, rank, true
+			}
+			continue
+		}
+		q := w.reads[c.read]
+		if reverse {
+			q = w.revs[c.read]
+		}
+		cyclesBefore := l.stats.ExtensionCycles
+		res := l.st.AlignAt(scoring, l.p.ref, q, int(c.seedStart), int(c.seedEnd), int(c.refPos), l.p.params.K)
+		res.Reverse = reverse
+		l.stats.Extensions++
+		if c.workIdx >= 0 {
+			b.work[c.workIdx].ExtJobs = append(b.work[c.workIdx].ExtJobs, l.stats.ExtensionCycles-cyclesBefore)
+		}
+		if betterThan(res, rank, sl) {
+			sl.res, sl.rank, sl.aligned = res, rank, true
+		}
+	}
+	if w.traced {
+		l.trace = append(l.trace, b.work...)
+	}
+}
+
+// extendWorker is one ExtendStage goroutine: it drains its private
+// candidate queue — extend lanes always drain, which is what makes the
+// credit-based backpressure deadlock-free — processes each batch, and
+// recycles it to the free list.
+func (p *Pipeline) extendWorker(pl *pool, in <-chan *batch) {
+	l := p.newExtendLane()
+	inst := p.params.Instrument
+	for b := range in {
+		t0 := inst.now()
+		n := int64(len(b.cands))
+		l.process(b)
+		if inst != nil {
+			inst.Extend.record(t0, inst.now(), 1, n)
+		}
+		b.recycle(pl.free)
+	}
+	pl.mu.Lock()
+	pl.stats.merge(l.stats)
+	pl.trace = append(pl.trace, l.trace...)
+	pl.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+// filterLane is one FilterStage worker's persistent state: the anchor
+// dedup set, reused across batches.
+type filterLane struct {
+	anchors map[int64]struct{}
+	max     int // hit-set threshold per (read, strand); 0 = unlimited
+}
+
+func (p *Pipeline) newFilterLane() *filterLane {
+	return &filterLane{anchors: make(map[int64]struct{}), max: p.params.MaxCandidates}
+}
+
+// filter compacts a batch in place: exact-match candidates short-circuit
+// straight through (the fast path needs no extension and no dedup), while
+// extension candidates are deduplicated by alignment diagonal — two seeds
+// of one read whose hits imply the same reference offset would extend to
+// the same alignment, so only the first survives — and optionally capped
+// at the hit-set threshold. Candidates arrive grouped by (read, strand);
+// the dedup set resets at each group boundary, reproducing the fused
+// loop's per-(read, strand, segment) anchor set exactly.
+//
+//genax:hotpath
+func (f *filterLane) filter(b *batch) {
+	out := b.cands[:0]
+	curRead := int32(-1)
+	var curFlags uint8
+	kept := 0
+	for _, c := range b.cands {
+		if c.read != curRead || c.flags != curFlags {
+			curRead, curFlags = c.read, c.flags
+			kept = 0
+			clear(f.anchors)
+		}
+		if c.flags&candExact == 0 {
+			key := int64(c.refPos-c.seedStart)<<1 | int64(c.flags&candReverse)
+			if _, dup := f.anchors[key]; dup {
+				continue
+			}
+			f.anchors[key] = struct{}{}
+			if f.max > 0 && kept >= f.max {
+				continue
+			}
+			kept++
+		}
+		out = append(out, c)
+	}
+	b.cands = out
+}
+
+// filterWorker is one FilterStage goroutine: it drains seed-stage batches,
+// filters them, and forwards survivors to the batch's extend lane. A batch
+// filtered down to nothing returns its credit immediately — unless the
+// window is traced, in which case it still travels to the extend stage so
+// its hw.LaneWork items reach the trace.
+func (p *Pipeline) filterWorker(pl *pool) {
+	f := p.newFilterLane()
+	inst := p.params.Instrument
+	for b := range pl.seedOut {
+		t0 := inst.now()
+		f.filter(b)
+		if inst != nil {
+			inst.Filter.record(t0, inst.now(), 1, int64(len(b.cands)))
+		}
+		if len(b.cands) == 0 && !b.win.traced {
+			b.recycle(pl.free)
+			continue
+		}
+		pl.extendIn[b.lane] <- b
+		if inst != nil {
+			inst.Filter.sample(len(pl.extendIn[b.lane]))
+		}
+	}
+}

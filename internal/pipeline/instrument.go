@@ -1,0 +1,69 @@
+package pipeline
+
+import "sync/atomic"
+
+// StageMetrics accumulates one stage's activity. BusyNanos is wall time
+// spent inside the stage's hot call (units are whatever the injected
+// clock returns — nanoseconds with the usual wall clock); Batches and
+// Items count processed batches and candidates; QueueSum/QueueMax/Samples
+// describe downstream queue occupancy sampled at each send, the software
+// analogue of the chip's hit-FIFO fill level (Fig 11).
+type StageMetrics struct {
+	BusyNanos atomic.Int64
+	Batches   atomic.Int64
+	Items     atomic.Int64
+	QueueSum  atomic.Int64
+	QueueMax  atomic.Int64
+	Samples   atomic.Int64
+}
+
+// record charges one processed batch to the stage.
+func (m *StageMetrics) record(t0, t1, batches, items int64) {
+	m.BusyNanos.Add(t1 - t0)
+	m.Batches.Add(batches)
+	m.Items.Add(items)
+}
+
+// sample records the downstream queue depth observed after a send.
+func (m *StageMetrics) sample(depth int) {
+	d := int64(depth)
+	m.QueueSum.Add(d)
+	m.Samples.Add(1)
+	for {
+		cur := m.QueueMax.Load()
+		if d <= cur || m.QueueMax.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// AvgQueue returns the mean sampled queue depth.
+func (m *StageMetrics) AvgQueue() float64 {
+	n := m.Samples.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(m.QueueSum.Load()) / float64(n)
+}
+
+// Instrument collects per-stage metrics for a Pipeline. The pipeline
+// itself never reads a clock (the package is on genaxvet's determinism
+// list); callers inject one via Now — genax-bench passes a wall-clock
+// reader, tests can pass a counter.
+type Instrument struct {
+	// Now returns the current time in nanoseconds. Nil disables timing
+	// but still counts batches, items, and queue depths. Every stage
+	// worker calls it concurrently, so it must be safe for concurrent
+	// use (time.Now().UnixNano is; a test counter needs an atomic).
+	Now func() int64
+
+	Seed, Filter, Extend StageMetrics
+}
+
+// now tolerates a nil Instrument or a nil clock.
+func (i *Instrument) now() int64 {
+	if i == nil || i.Now == nil {
+		return 0
+	}
+	return i.Now()
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-budget tests skip themselves under it because the
+// instrumentation itself allocates.
+const raceEnabled = false

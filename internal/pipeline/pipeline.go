@@ -1,0 +1,204 @@
+// Package pipeline is the staged execution engine behind core.Aligner,
+// shaped like the GenAx chip's decoupled datapath (§VI): seeding lanes and
+// SillaX extension lanes are separate pools of persistent workers joined
+// by bounded queues, not phases of one fused loop.
+//
+// The stage graph is
+//
+//	SeedStage ──bounded chan──▶ FilterStage ──bounded chans──▶ ExtendStage
+//	(lane pool, per-segment     (exact-match short-circuit,    (SillaX lanes
+//	 tables stream in,           diagonal dedup, hit-set        consuming
+//	 chunked read claiming)      thresholding)                  candidates)
+//
+// Reads are admitted in windows (AlignStream) or as one whole batch
+// (AlignBatch); within a window the seed lanes walk the reference segment
+// by segment behind a barrier — the chip's table-streaming boundary —
+// while filter and extend lanes run free, consuming candidate batches as
+// they appear. Backpressure is credit-based: a candidate batch must be
+// drawn from a fixed free list before a seed lane may fill it, so total
+// in-flight memory is bounded and a slow extend pool stalls seeding
+// instead of growing queues.
+//
+// Determinism holds by construction, not by ordering: every candidate
+// carries a canonical rank (segment-major, forward strand before reverse,
+// emission order within a batch), and a candidate replaces the incumbent
+// best alignment only if it scores strictly better under align.Result's
+// total order or ties it with a lower rank. That merge is associative and
+// commutative, so any interleaving of extend lanes reproduces the fused
+// sequential loop byte for byte. The package is on genaxvet's determinism
+// list: no map iteration, wall-clock reads, or multi-channel selects —
+// every channel operation is a single blocking send or receive.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/seed"
+)
+
+// Chip lane counts (§VI): 128 seeding lanes feed 4 SillaX lanes.
+const (
+	ChipSeedLanes   = 128
+	ChipExtendLanes = 4
+)
+
+// DefaultWindow bounds the reads a stream holds in flight per window.
+const DefaultWindow = 1024
+
+// Params configures a Pipeline.
+type Params struct {
+	// K is the SillaX edit bound (margin allowed around a read).
+	K int
+	// Scoring is the extension scheme.
+	Scoring align.Scoring
+	// Seeding carries the §V optimization switches.
+	Seeding seed.Options
+	// MinScore suppresses alignments below the reporting floor. The gate
+	// is applied in exactly one place (finalizeSlot), after all segments
+	// merged, for batch, stream and single-read paths alike.
+	MinScore int
+	// Workers is the total lane budget (0 = GOMAXPROCS). When SeedLanes
+	// or ExtendLanes is zero the budget is split in the chip's 128:4
+	// proportion by SplitLanes.
+	Workers int
+	// SeedLanes and ExtendLanes override the derived stage worker counts.
+	SeedLanes, ExtendLanes int
+	// FilterLanes sizes the filter stage (0 = one per extend lane).
+	FilterLanes int
+	// MaxCandidates, when positive, caps the extension candidates kept per
+	// (read, strand, segment) after deduplication — the filter stage's
+	// hit-set threshold. 0 keeps every candidate.
+	MaxCandidates int
+	// Window bounds reads in flight per AlignStream window (0 = DefaultWindow).
+	Window int
+	// Instrument, when non-nil, collects per-stage busy time and queue
+	// occupancy. The pipeline never reads a clock itself; bench code
+	// injects one (the package stays on the determinism list).
+	Instrument *Instrument
+}
+
+// SplitLanes splits a worker budget between the seed and extend pools in
+// the chip's 128:4 proportion, keeping at least one lane per pool. The
+// chip's own budget of 132 maps exactly to (128, 4).
+func SplitLanes(budget int) (seedLanes, extendLanes int) {
+	if budget < 1 {
+		budget = 1
+	}
+	extendLanes = budget * ChipExtendLanes / (ChipSeedLanes + ChipExtendLanes)
+	if extendLanes < 1 {
+		extendLanes = 1
+	}
+	seedLanes = budget - extendLanes
+	if seedLanes < 1 {
+		seedLanes = 1
+	}
+	return seedLanes, extendLanes
+}
+
+// Pipeline is a staged aligner bound to one reference and its segmented
+// index. It is immutable after New and safe for concurrent use; each
+// AlignBatch/AlignStream call spins up its own lane pools.
+type Pipeline struct {
+	params Params
+	ref    dna.Seq
+	index  *seed.SegmentedIndex
+
+	// singles pools fused single-read lanes for AlignRead.
+	singles sync.Pool
+}
+
+// New builds a Pipeline over ref and its index, resolving lane-count
+// defaults. The index must have been built from ref.
+func New(ref dna.Seq, index *seed.SegmentedIndex, p Params) (*Pipeline, error) {
+	if p.K < 1 {
+		return nil, fmt.Errorf("pipeline: edit bound %d must be positive", p.K)
+	}
+	if index == nil {
+		return nil, fmt.Errorf("pipeline: nil segment index")
+	}
+	budget := p.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	ds, de := SplitLanes(budget)
+	if p.SeedLanes <= 0 {
+		p.SeedLanes = ds
+	}
+	if p.ExtendLanes <= 0 {
+		p.ExtendLanes = de
+	}
+	if p.FilterLanes <= 0 {
+		p.FilterLanes = p.ExtendLanes
+	}
+	if p.Window <= 0 {
+		p.Window = DefaultWindow
+	}
+	pl := &Pipeline{params: p, ref: ref, index: index}
+	pl.singles.New = func() any { return newSingleLane(pl) }
+	return pl, nil
+}
+
+// Params returns the resolved configuration.
+func (p *Pipeline) Params() Params { return p.params }
+
+// NumSegments returns the segment count of the bound index.
+func (p *Pipeline) NumSegments() int { return p.index.NumSegments() }
+
+// claimChunk sizes the work-claiming granule: small enough that one lane
+// stuck on expensive reads cannot strand a long tail behind it, large
+// enough that the atomic cursor stays uncontended and each candidate
+// batch amortizes its queue hop.
+//
+//genax:hotpath
+func claimChunk(reads, workers int) int64 {
+	c := reads / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 32 {
+		c = 32
+	}
+	return int64(c)
+}
+
+// barrier is a reusable synchronization point: every party blocks in await
+// until all parties of the current generation have arrived, then all are
+// released together. The seed pool places one between segments so no lane
+// starts claiming segment s+1 while another still seeds reads in s —
+// exactly the chip's table-streaming boundary. Extend lanes are not
+// parties: they drain candidates across segment boundaries freely, which
+// is what makes the stages decoupled.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+//genax:hotpath
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

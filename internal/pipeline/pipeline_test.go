@@ -1,0 +1,436 @@
+package pipeline
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/seed"
+	"genax/internal/sim"
+)
+
+// smallParams scales the chip configuration to test-sized genomes.
+func smallParams() Params {
+	return Params{
+		K:        24,
+		Scoring:  align.BWAMEMDefaults(),
+		Seeding:  seed.DefaultOptions(),
+		MinScore: 30,
+	}
+}
+
+// testPipeline builds a Pipeline over a noisy multi-segment workload.
+func testPipeline(t *testing.T, p Params, seedVal int64, genome int, errRate float64) (*Pipeline, *sim.Workload) {
+	t.Helper()
+	wl := sim.NewWorkload(seedVal, genome,
+		sim.VariantProfile{SNPRate: 0.001, IndelRate: 0.0002, MaxIndel: 6},
+		sim.ReadProfile{Length: 101, Coverage: 2, ErrorRate: errRate, ReverseFraction: 0.5})
+	idx, err := seed.BuildSegmentedIndex(wl.Ref, 8192, 256, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(wl.Ref, idx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, wl
+}
+
+func workloadReads(wl *sim.Workload, n int) []dna.Seq {
+	if n > len(wl.Reads) {
+		n = len(wl.Reads)
+	}
+	reads := make([]dna.Seq, n)
+	for i := range reads {
+		reads[i] = wl.Reads[i].Seq
+	}
+	return reads
+}
+
+// sameResult asserts byte-identity of two read results.
+func sameResult(t *testing.T, label string, i int, got, want ReadResult) {
+	t.Helper()
+	if got.Aligned != want.Aligned {
+		t.Fatalf("%s: read %d aligned flag %v, want %v", label, i, got.Aligned, want.Aligned)
+	}
+	if !got.Aligned {
+		return
+	}
+	g, w := got.Result, want.Result
+	if g.Score != w.Score || g.RefPos != w.RefPos || g.Reverse != w.Reverse ||
+		g.Cigar.String() != w.Cigar.String() {
+		t.Fatalf("%s: read %d got %v, want %v", label, i, g, w)
+	}
+}
+
+// TestStreamMatchesBatch is the golden equivalence of the refactor:
+// AlignStream must produce byte-identical results to AlignBatch, in input
+// order, for every window size and lane split — including windows far
+// smaller than the batch and a deliberately starved extend stage.
+func TestStreamMatchesBatch(t *testing.T) {
+	base, wl := testPipeline(t, smallParams(), 410, 30000, 0.02)
+	reads := workloadReads(wl, 90)
+	want, wantStats := base.AlignBatch(reads)
+
+	cases := []struct {
+		name                   string
+		seedLanes, extendLanes int
+		window                 int
+	}{
+		{"1x1-window7", 1, 1, 7},
+		{"4x2-window16", 4, 2, 16},
+		{"8x1-window32", 8, 1, 32},
+		{"2x4-wholebatch", 2, 4, 1024},
+	}
+	for _, tc := range cases {
+		p := smallParams()
+		p.SeedLanes, p.ExtendLanes, p.Window = tc.seedLanes, tc.extendLanes, tc.window
+		pl, err := New(base.ref, base.index, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan dna.Seq, len(reads))
+		for _, r := range reads {
+			in <- r
+		}
+		close(in)
+		out, stats := pl.AlignStream(context.Background(), in)
+		i := 0
+		for rr := range out {
+			if i >= len(want) {
+				t.Fatalf("%s: more results than reads", tc.name)
+			}
+			sameResult(t, tc.name, i, rr, want[i])
+			i++
+		}
+		if i != len(want) {
+			t.Fatalf("%s: %d results, want %d", tc.name, i, len(want))
+		}
+		if *stats != wantStats {
+			t.Errorf("%s: stream stats %+v, want %+v", tc.name, *stats, wantStats)
+		}
+	}
+}
+
+// TestStreamOrderAdversarialTiming starves the extend stage (one lane,
+// noisy reads) while many seed lanes race ahead, and trickles the input so
+// window boundaries land at awkward points. Results must still arrive in
+// input order, byte-identical to the batch path.
+func TestStreamOrderAdversarialTiming(t *testing.T) {
+	p := smallParams()
+	p.SeedLanes, p.ExtendLanes, p.Window = 8, 1, 13
+	pl, wl := testPipeline(t, p, 411, 25000, 0.04)
+	reads := workloadReads(wl, 70)
+	want, _ := pl.AlignBatch(reads)
+
+	in := make(chan dna.Seq)
+	go func() {
+		for i, r := range reads {
+			if i%11 == 0 {
+				time.Sleep(2 * time.Millisecond) // stall a window mid-fill
+			}
+			in <- r
+		}
+		close(in)
+	}()
+	out, _ := pl.AlignStream(context.Background(), in)
+	i := 0
+	for rr := range out {
+		sameResult(t, "adversarial", i, rr, want[i])
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("%d results, want %d", i, len(want))
+	}
+}
+
+// TestStreamCancel checks that cancelling the context stops admission
+// between reads: every result that does come out is correct and in input
+// order, already-admitted reads drain, and the result channel closes.
+func TestStreamCancel(t *testing.T) {
+	p := smallParams()
+	p.Window = 8
+	pl, wl := testPipeline(t, p, 412, 25000, 0.02)
+	reads := workloadReads(wl, 200)
+	want, _ := pl.AlignBatch(reads)
+
+	in := make(chan dna.Seq, len(reads))
+	for _, r := range reads {
+		in <- r
+	}
+	close(in)
+	ctx, cancel := context.WithCancel(context.Background())
+	out, stats := pl.AlignStream(ctx, in)
+	got := 0
+	for rr := range out {
+		sameResult(t, "cancel", got, rr, want[got])
+		got++
+		if got == 4 {
+			cancel()
+		}
+	}
+	cancel()
+	if got > len(reads) {
+		t.Fatalf("%d results for %d reads", got, len(reads))
+	}
+	if stats.Reads != got {
+		t.Errorf("stats.Reads = %d, emitted %d", stats.Reads, got)
+	}
+}
+
+// TestStreamBoundedAdmission pins the bounded-memory contract: with a
+// sleeping consumer, the stream can admit at most the two in-flight
+// windows plus the result-channel buffer — far fewer than the input.
+func TestStreamBoundedAdmission(t *testing.T) {
+	p := smallParams()
+	p.Window = 8
+	pl, wl := testPipeline(t, p, 413, 25000, 0)
+	reads := workloadReads(wl, 400)
+
+	in := make(chan dna.Seq) // unbuffered: every send is an admission
+	var sent atomic.Int64
+	go func() {
+		for _, r := range reads {
+			in <- r
+			sent.Add(1)
+		}
+		close(in)
+	}()
+	out, _ := pl.AlignStream(context.Background(), in)
+	time.Sleep(300 * time.Millisecond) // consumer asleep: admission must stall
+	// 64 results can park in the out buffer, two windows can be in
+	// flight, and a window may be mid-fill; anything near len(reads)
+	// means admission is unbounded.
+	if n := sent.Load(); n > 64+4*int64(p.Window) {
+		t.Errorf("admitted %d reads with no consumer; window is %d", n, p.Window)
+	}
+	drained := 0
+	for range out {
+		drained++
+	}
+	if drained != len(reads) {
+		t.Fatalf("drained %d, want %d", drained, len(reads))
+	}
+}
+
+// TestSplitLanes pins the 128:4 proportion, including the chip's own
+// budget mapping exactly to its lane counts.
+func TestSplitLanes(t *testing.T) {
+	cases := []struct {
+		budget, seed, ext int
+	}{
+		{132, 128, 4},
+		{1, 1, 1},
+		{2, 1, 1},
+		{4, 3, 1},
+		{8, 7, 1},
+		{33, 32, 1},
+		{66, 64, 2},
+		{264, 256, 8},
+		{0, 1, 1},
+		{-3, 1, 1},
+	}
+	for _, tc := range cases {
+		s, e := SplitLanes(tc.budget)
+		if s != tc.seed || e != tc.ext {
+			t.Errorf("SplitLanes(%d) = (%d, %d), want (%d, %d)", tc.budget, s, e, tc.seed, tc.ext)
+		}
+	}
+}
+
+// TestClaimChunk pins the claiming granule's bounds.
+func TestClaimChunk(t *testing.T) {
+	cases := []struct {
+		reads, workers int
+		want           int64
+	}{
+		{0, 4, 1},
+		{10, 4, 1},
+		{256, 4, 8},
+		{100000, 4, 32},
+		{64, 8, 1},
+	}
+	for _, tc := range cases {
+		if got := claimChunk(tc.reads, tc.workers); got != tc.want {
+			t.Errorf("claimChunk(%d, %d) = %d, want %d", tc.reads, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestTracedParity checks the hw.LaneWork trace against the work counters:
+// one item per (read, strand, segment), SeedOps summing to the lookup
+// counters and ExtJobs to the extension count — and tracing must not
+// perturb the results.
+func TestTracedParity(t *testing.T) {
+	p := smallParams()
+	p.Workers = 4
+	pl, wl := testPipeline(t, p, 414, 25000, 0.02)
+	reads := workloadReads(wl, 50)
+	want, wantStats := pl.AlignBatch(reads)
+	got, stats, work := pl.AlignBatchTraced(reads)
+	for i := range want {
+		sameResult(t, "traced", i, got[i], want[i])
+	}
+	if stats != wantStats {
+		t.Errorf("traced stats %+v, want %+v", stats, wantStats)
+	}
+	if len(work) != 2*len(reads)*pl.NumSegments() {
+		t.Fatalf("%d work items, want %d", len(work), 2*len(reads)*pl.NumSegments())
+	}
+	var seedOps, extJobs, extCycles int64
+	for _, wk := range work {
+		seedOps += wk.SeedOps
+		extJobs += int64(len(wk.ExtJobs))
+		for _, c := range wk.ExtJobs {
+			extCycles += c
+		}
+	}
+	if seedOps != stats.IndexLookups+stats.CAMLookups {
+		t.Errorf("trace SeedOps %d, want %d", seedOps, stats.IndexLookups+stats.CAMLookups)
+	}
+	if extJobs != stats.Extensions {
+		t.Errorf("trace ExtJobs %d, want %d extensions", extJobs, stats.Extensions)
+	}
+	if extCycles != stats.ExtensionCycles {
+		t.Errorf("trace cycles %d, want %d", extCycles, stats.ExtensionCycles)
+	}
+}
+
+// TestInstrumentCounts checks the per-stage metrics with an injected
+// deterministic clock: every stage must report work, and the extend stage
+// must see exactly the post-filter candidate flow.
+func TestInstrumentCounts(t *testing.T) {
+	p := smallParams()
+	inst := &Instrument{}
+	var tick atomic.Int64
+	inst.Now = func() int64 { return tick.Add(1000) }
+	p.Instrument = inst
+	pl, wl := testPipeline(t, p, 415, 25000, 0.02)
+	reads := workloadReads(wl, 40)
+	_, stats := pl.AlignBatch(reads)
+	if inst.Seed.Batches.Load() == 0 || inst.Filter.Batches.Load() == 0 || inst.Extend.Batches.Load() == 0 {
+		t.Fatalf("stage batch counts: seed %d filter %d extend %d",
+			inst.Seed.Batches.Load(), inst.Filter.Batches.Load(), inst.Extend.Batches.Load())
+	}
+	if inst.Seed.BusyNanos.Load() <= 0 || inst.Extend.BusyNanos.Load() <= 0 {
+		t.Error("injected clock produced no busy time")
+	}
+	if got := inst.Extend.Items.Load(); got < stats.Extensions {
+		t.Errorf("extend stage saw %d candidates, fewer than %d extensions", got, stats.Extensions)
+	}
+}
+
+// TestAlignReadAllocs is the satellite-1 regression: a warm pooled single
+// lane may allocate only the adopted result cigars per call — a small
+// constant, nothing like the old build-a-batch-pipeline-per-call cost.
+func TestAlignReadAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	pl, wl := testPipeline(t, smallParams(), 416, 25000, 0)
+	read := wl.Reads[0].Seq
+	if _, ok := pl.AlignRead(read); !ok {
+		t.Fatal("read unaligned")
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, ok := pl.AlignRead(read); !ok {
+			t.Fatal("read unaligned")
+		}
+	})
+	const budget = 8.0
+	if avg > budget {
+		t.Errorf("AlignRead allocates %.2f per call, budget %.1f", avg, budget)
+	}
+	t.Logf("AlignRead allocs: %.2f per call (budget %.1f)", avg, budget)
+}
+
+// TestAlignReadMatchesBatch checks the fused single-read path against the
+// staged batch path on a read mix covering exact and noisy cases.
+func TestAlignReadMatchesBatch(t *testing.T) {
+	pl, wl := testPipeline(t, smallParams(), 417, 25000, 0.02)
+	reads := workloadReads(wl, 30)
+	want, _ := pl.AlignBatch(reads)
+	for i, r := range reads {
+		res, ok := pl.AlignRead(r)
+		if ok != want[i].Aligned {
+			t.Fatalf("read %d: AlignRead aligned %v, batch %v", i, ok, want[i].Aligned)
+		}
+		if ok {
+			sameResult(t, "single", i, ReadResult{Result: res, Aligned: true}, want[i])
+		}
+	}
+}
+
+// TestSingleLaneSteadyStateAllocs pins the allocation budget of the fused
+// stage path (the port of the old core steady-state test): with every
+// lane buffer warm, aligning a read through seed → filter → extend may
+// allocate only the adopted result cigars.
+func TestSingleLaneSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	pl, wl := testPipeline(t, smallParams(), 418, 30000, 0.02)
+	reads := workloadReads(wl, 30)
+	l := newSingleLane(pl)
+	sweep := func() {
+		for i := range reads {
+			l.alignRead(reads[i])
+		}
+	}
+	sweep() // warm the lane's scratch buffers
+	avg := testing.AllocsPerRun(10, sweep)
+	perRead := avg / float64(len(reads))
+	const budget = 12.0
+	if perRead > budget {
+		t.Errorf("steady-state fused path allocates %.2f per read, budget %.1f", perRead, budget)
+	}
+	t.Logf("steady-state allocs: %.2f per read (budget %.1f)", perRead, budget)
+}
+
+// TestMaxCandidatesThreshold checks the filter stage's hit-set cap: a
+// tight threshold must bound extension work without breaking alignment of
+// clean reads (their exact-path candidates bypass the cap).
+func TestMaxCandidatesThreshold(t *testing.T) {
+	p := smallParams()
+	p.MaxCandidates = 1
+	pl, wl := testPipeline(t, p, 419, 25000, 0.02)
+	base, err := New(pl.ref, pl.index, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := workloadReads(wl, 60)
+	_, capped := pl.AlignBatch(reads)
+	res, uncapped := base.AlignBatch(reads)
+	if capped.Extensions > uncapped.Extensions {
+		t.Errorf("threshold raised extension count: %d > %d", capped.Extensions, uncapped.Extensions)
+	}
+	aligned := 0
+	for _, rr := range res {
+		if rr.Aligned {
+			aligned++
+		}
+	}
+	if capped.Aligned < aligned*9/10 {
+		t.Errorf("threshold dropped too many alignments: %d vs %d", capped.Aligned, aligned)
+	}
+}
+
+// TestWindowReuse runs several batches through one pipeline value and
+// interleaves streams, ensuring pooled windows and lanes reset cleanly.
+func TestWindowReuse(t *testing.T) {
+	pl, wl := testPipeline(t, smallParams(), 420, 25000, 0.02)
+	reads := workloadReads(wl, 20)
+	want, wantStats := pl.AlignBatch(reads)
+	for round := 0; round < 3; round++ {
+		got, stats := pl.AlignBatch(reads)
+		for i := range want {
+			sameResult(t, "reuse", i, got[i], want[i])
+		}
+		if stats != wantStats {
+			t.Fatalf("round %d stats %+v, want %+v", round, stats, wantStats)
+		}
+	}
+}

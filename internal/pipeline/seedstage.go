@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"genax/internal/dna"
+	"genax/internal/hw"
+	"genax/internal/seed"
+)
+
+// seedLane is one SeedStage worker's persistent state: the seeding
+// hardware (CAM, scratch, counters) lives as long as the pool and is
+// rebound to each segment's tables with bind, exactly like the chip
+// streams per-segment tables into a lane's SRAM.
+type seedLane struct {
+	p     *Pipeline
+	sd    *seed.Seeder
+	stats Stats
+}
+
+func (p *Pipeline) newSeedLane() *seedLane { return &seedLane{p: p} }
+
+// bind points the lane's seeding hardware at a segment's tables.
+func (l *seedLane) bind(si *seed.SegmentIndex) {
+	if l.sd == nil {
+		l.sd = seed.NewSeeder(si, l.p.params.Seeding)
+	} else {
+		l.sd.Reset(si)
+	}
+}
+
+// seedOne seeds one oriented read against the bound segment and appends
+// its extension candidates to b in canonical order (seed order, then hit
+// order). The seeder's result is scratch-backed and valid only until the
+// next Seed call, so every hit is copied into the batch here, before the
+// batch crosses a queue. Exact-match reads short-circuit: their hits are
+// flagged candExact so the extend stage skips SillaX entirely (§V).
+//
+//genax:hotpath
+func (l *seedLane) seedOne(q dna.Seq, readIdx int32, reverse bool, w *window, b *batch) {
+	sd := l.sd
+	before := sd.Stats
+	seeds := sd.Seed(q)
+	after := sd.Stats
+	l.stats.IndexLookups += int64(after.IndexLookups - before.IndexLookups)
+	l.stats.CAMLookups += int64(after.CAMLookups - before.CAMLookups)
+	l.stats.SeedsEmitted += int64(after.SeedsEmitted - before.SeedsEmitted)
+	l.stats.HitsEmitted += int64(after.HitsEmitted - before.HitsEmitted)
+	exact := after.ExactReads > before.ExactReads
+	if exact {
+		// One claimant per read per segment, and the segment barrier
+		// orders claims across segments, so this write cannot race.
+		w.exact[readIdx] = true
+	}
+	workIdx := int32(-1)
+	if w.traced {
+		b.work = append(b.work, hw.LaneWork{
+			SeedOps: int64(after.IndexLookups-before.IndexLookups) +
+				int64(after.CAMLookups-before.CAMLookups),
+		})
+		workIdx = int32(len(b.work) - 1)
+	}
+	var flags uint8
+	if reverse {
+		flags |= candReverse
+	}
+	if exact {
+		flags |= candExact
+	}
+	for _, s := range seeds {
+		for _, h := range s.Positions {
+			b.cands = append(b.cands, cand{
+				read:      readIdx,
+				seedStart: int32(s.Start),
+				seedEnd:   int32(s.End),
+				refPos:    h,
+				workIdx:   workIdx,
+				flags:     flags,
+			})
+		}
+	}
+}
+
+// seedWorker is one SeedStage goroutine. Each worker receives every
+// window on its private channel (so lanes never steal each other's copy),
+// walks the reference segment by segment behind the window's barrier, and
+// claims chunks of reads off the segment cursor. A chunk's candidates for
+// one segment form one batch, drawn from the free list — the credit that
+// implements backpressure — and routed to the extend lane owning that
+// chunk's result slots.
+func (p *Pipeline) seedWorker(pl *pool, winCh <-chan *window) {
+	l := p.newSeedLane()
+	inst := p.params.Instrument
+	for w := range winCh {
+		for s, si := range p.index.Samples {
+			l.bind(si)
+			for {
+				start := w.cursors[s].Add(w.chunk) - w.chunk
+				if start >= int64(len(w.reads)) {
+					break
+				}
+				end := start + w.chunk
+				if end > int64(len(w.reads)) {
+					end = int64(len(w.reads))
+				}
+				b := <-pl.free
+				b.reset(w, int32(s))
+				b.lane = int32((start / w.chunk) % int64(p.params.ExtendLanes))
+				t0 := inst.now()
+				for i := start; i < end; i++ {
+					l.seedOne(w.reads[i], int32(i), false, w, b)
+					l.seedOne(w.revs[i], int32(i), true, w, b)
+				}
+				if inst != nil {
+					inst.Seed.record(t0, inst.now(), 1, int64(len(b.cands)))
+				}
+				if len(b.cands) == 0 && !w.traced {
+					// Nothing to extend: return the credit directly.
+					pl.free <- b
+					continue
+				}
+				w.pending.Add(1)
+				pl.seedOut <- b
+				if inst != nil {
+					inst.Seed.sample(len(pl.seedOut))
+				}
+			}
+			w.bar.await()
+		}
+		w.seederDone()
+	}
+	pl.mu.Lock()
+	pl.stats.merge(l.stats)
+	pl.mu.Unlock()
+}

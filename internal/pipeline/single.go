@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// singleLane is the fused fast path behind AlignRead: one seed lane, one
+// filter lane, and one extend lane wired back to back with a scratch
+// window and batch instead of channels. Because the three stage methods
+// (seedOne, filter, process) are exactly the ones the staged pool runs,
+// the fused path produces byte-identical results — it just skips the
+// queues, the goroutines, and the per-call pipeline construction that
+// made the old AlignRead allocate a full batch setup per call. Lanes are
+// pooled on the Pipeline, so a warm AlignRead allocates only the adopted
+// result cigars.
+type singleLane struct {
+	p    *Pipeline
+	seed *seedLane
+	filt *filterLane
+	ext  *extendLane
+	w    window
+	b    batch
+}
+
+func newSingleLane(p *Pipeline) *singleLane {
+	return &singleLane{
+		p:    p,
+		seed: p.newSeedLane(),
+		filt: p.newFilterLane(),
+		ext:  p.newExtendLane(),
+	}
+}
+
+// alignRead maps one read (both strands, all segments) through the fused
+// stage path and returns the finalized, MinScore-gated result.
+func (s *singleLane) alignRead(read dna.Seq) ReadResult {
+	w := &s.w
+	if cap(w.revBuf) < len(read) {
+		w.revBuf = make(dna.Seq, 0, len(read))
+	}
+	w.revBuf = dna.AppendRevComp(w.revBuf[:0], read)
+	if len(w.reads) != 1 {
+		w.reads = make([]dna.Seq, 1)
+		w.revs = make([]dna.Seq, 1)
+		w.slots = make([]slot, 1)
+		w.exact = make([]bool, 1)
+	}
+	w.reads[0] = read
+	w.revs[0] = w.revBuf
+	w.slots[0] = slot{}
+	w.exact[0] = false
+	w.traced = false
+
+	b := &s.b
+	for sg, si := range s.p.index.Samples {
+		s.seed.bind(si)
+		b.reset(w, int32(sg))
+		s.seed.seedOne(read, 0, false, w, b)
+		s.seed.seedOne(w.revs[0], 0, true, w, b)
+		s.filt.filter(b)
+		s.ext.process(b)
+	}
+	b.win = nil
+	w.reads[0], w.revs[0] = nil, nil
+	return finalizeSlot(&w.slots[0], s.p.params.MinScore)
+}
+
+// AlignRead maps a single read (both strands, all segments) through a
+// pooled fused lane. Safe for concurrent use; steady state allocates only
+// the adopted result cigars.
+func (p *Pipeline) AlignRead(read dna.Seq) (align.Result, bool) {
+	l := p.singles.Get().(*singleLane)
+	rr := l.alignRead(read)
+	p.singles.Put(l)
+	if !rr.Aligned {
+		return align.Result{}, false
+	}
+	return rr.Result, true
+}

@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"genax/internal/dna"
+	"genax/internal/hw"
+)
+
+// pool is one running instance of the stage graph: the lane goroutines,
+// the queues between them, and the free list of batch credits. A pool
+// serves one AlignBatch call or one AlignStream session and is torn down
+// by shutdown's stage-ordered cascade.
+type pool struct {
+	p *Pipeline
+
+	// winChs delivers each window to every seed lane exactly once (one
+	// private channel per lane — a shared channel could hand one lane two
+	// copies and starve another, deadlocking the window barrier).
+	winChs []chan *window
+	// seedOut and extendIn are the bounded inter-stage queues.
+	seedOut  chan *batch
+	extendIn []chan *batch
+	// free holds the batch credits: a seed lane must draw one per chunk,
+	// so at most cap(free) batches exist and a stalled extend stage
+	// propagates backpressure all the way to admission.
+	free chan *batch
+
+	seedWG, filterWG, extendWG sync.WaitGroup
+
+	mu    sync.Mutex
+	stats Stats
+	trace []hw.LaneWork
+}
+
+// startPool launches the stage goroutines and pre-allocates the credits.
+func (p *Pipeline) startPool() *pool {
+	ns, nf, ne := p.params.SeedLanes, p.params.FilterLanes, p.params.ExtendLanes
+	pl := &pool{p: p}
+	pl.winChs = make([]chan *window, ns)
+	for i := range pl.winChs {
+		pl.winChs[i] = make(chan *window, 2)
+	}
+	pl.seedOut = make(chan *batch, ns+ne)
+	pl.extendIn = make([]chan *batch, ne)
+	for i := range pl.extendIn {
+		pl.extendIn[i] = make(chan *batch, 2)
+	}
+	credits := 2 * (ns + ne + nf)
+	pl.free = make(chan *batch, credits)
+	for i := 0; i < credits; i++ {
+		pl.free <- &batch{}
+	}
+	for i := 0; i < ns; i++ {
+		ch := pl.winChs[i]
+		pl.seedWG.Add(1)
+		go func() {
+			defer pl.seedWG.Done()
+			p.seedWorker(pl, ch)
+		}()
+	}
+	for i := 0; i < nf; i++ {
+		pl.filterWG.Add(1)
+		go func() {
+			defer pl.filterWG.Done()
+			p.filterWorker(pl)
+		}()
+	}
+	for i := 0; i < ne; i++ {
+		ch := pl.extendIn[i]
+		pl.extendWG.Add(1)
+		go func() {
+			defer pl.extendWG.Done()
+			p.extendWorker(pl, ch)
+		}()
+	}
+	return pl
+}
+
+// submit hands a prepared window to every seed lane.
+func (pl *pool) submit(w *window) {
+	for _, ch := range pl.winChs {
+		ch <- w
+	}
+}
+
+// shutdown tears the stages down in graph order — close admission, wait
+// for seeding, close the seed queue, wait for filtering, close the
+// extension queues, wait for extension — then leaves the merged stats and
+// trace in pl.stats / pl.trace.
+func (pl *pool) shutdown() {
+	for _, ch := range pl.winChs {
+		close(ch)
+	}
+	pl.seedWG.Wait()
+	close(pl.seedOut)
+	pl.filterWG.Wait()
+	for _, ch := range pl.extendIn {
+		close(ch)
+	}
+	pl.extendWG.Wait()
+}
+
+// emitWindow finalizes a completed window's slots in read order, applying
+// the MinScore gate, appending to results, and folding the per-read
+// tallies into stats.
+func emitWindow(w *window, minScore int, stats *Stats, results []ReadResult) []ReadResult {
+	for i := range w.slots {
+		rr := finalizeSlot(&w.slots[i], minScore)
+		if rr.Aligned {
+			stats.Aligned++
+		}
+		if w.exact[i] {
+			stats.ExactReads++
+		}
+		results = append(results, rr)
+	}
+	stats.Reads += len(w.slots)
+	return results
+}
+
+// AlignBatch maps all reads, processing the reference segment-major like
+// the chip: for each segment, every read is seeded against that segment's
+// tables, surviving hits are filtered and extended, and each read keeps
+// its best alignment across segments. The whole batch is one window.
+func (p *Pipeline) AlignBatch(reads []dna.Seq) ([]ReadResult, Stats) {
+	res, stats, _ := p.alignBatch(reads, false)
+	return res, stats
+}
+
+// AlignBatchTraced is AlignBatch plus the per-(read, strand, segment) work
+// items consumed by hw.SimulateLanes (the Fig 11 lane-scheduling model).
+func (p *Pipeline) AlignBatchTraced(reads []dna.Seq) ([]ReadResult, Stats, []hw.LaneWork) {
+	return p.alignBatch(reads, true)
+}
+
+func (p *Pipeline) alignBatch(reads []dna.Seq, traced bool) ([]ReadResult, Stats, []hw.LaneWork) {
+	var stats Stats
+	stats.Segments = p.index.NumSegments()
+	results := make([]ReadResult, 0, len(reads))
+	if len(reads) == 0 {
+		return results, stats, nil
+	}
+	pl := p.startPool()
+	w := newWindow()
+	w.reads = reads
+	w.prepare(p, traced)
+	pl.submit(w)
+	<-w.done
+	results = emitWindow(w, p.params.MinScore, &stats, results)
+	pl.shutdown()
+	stats.merge(pl.stats)
+	return results, stats, pl.trace
+}
+
+// AlignStream maps reads arriving on in, emitting one ReadResult per read
+// on the returned channel in input order. Reads are admitted in windows
+// of at most Params.Window; at most two windows are in flight at once
+// (one filling while one processes), so memory stays bounded no matter
+// how long the stream runs. The returned Stats is populated when the
+// result channel closes and must not be read before then.
+//
+// Cancelling ctx stops admission: it is observed between receives on in,
+// so a producer blocked mid-send should close in to unblock the stream.
+// Reads already admitted are still aligned and emitted before the result
+// channel closes.
+func (p *Pipeline) AlignStream(ctx context.Context, in <-chan dna.Seq) (<-chan ReadResult, *Stats) {
+	out := make(chan ReadResult, 64)
+	stats := &Stats{}
+	go p.streamRun(ctx, in, out, stats)
+	return out, stats
+}
+
+func (p *Pipeline) streamRun(ctx context.Context, in <-chan dna.Seq, out chan<- ReadResult, stats *Stats) {
+	defer close(out)
+	stats.Segments = p.index.NumSegments()
+	var stopped atomic.Bool
+	stopWatch := context.AfterFunc(ctx, func() { stopped.Store(true) })
+	defer stopWatch()
+
+	pl := p.startPool()
+	defer func() {
+		pl.shutdown()
+		stats.merge(pl.stats)
+	}()
+
+	// Two windows ping-pong: while prev is in the stage graph, cur fills
+	// from the input — the reorder buffer that keeps emission in input
+	// order is simply the window itself.
+	wins := [2]*window{newWindow(), newWindow()}
+	var prev *window
+	cur := 0
+	for {
+		w := wins[cur]
+		cur ^= 1
+		n := fillWindow(w, in, &stopped, p.params.Window)
+		if n > 0 {
+			w.prepare(p, false)
+			pl.submit(w)
+		}
+		if prev != nil {
+			<-prev.done
+			emitStream(prev, p.params.MinScore, stats, out)
+		}
+		if n < p.params.Window {
+			// Input closed or stream cancelled; drain the last window.
+			if n > 0 {
+				<-w.done
+				emitStream(w, p.params.MinScore, stats, out)
+			}
+			return
+		}
+		prev = w
+	}
+}
+
+// fillWindow admits up to max reads from in, returning how many arrived.
+// Cancellation is checked between receives — each receive is a single
+// blocking channel operation, keeping the package select-free.
+func fillWindow(w *window, in <-chan dna.Seq, stopped *atomic.Bool, max int) int {
+	w.reads = w.reads[:0]
+	for len(w.reads) < max {
+		if stopped.Load() {
+			break
+		}
+		r, ok := <-in
+		if !ok {
+			break
+		}
+		w.reads = append(w.reads, r)
+	}
+	return len(w.reads)
+}
+
+// emitStream sends a completed window's results downstream in read order.
+func emitStream(w *window, minScore int, stats *Stats, out chan<- ReadResult) {
+	for i := range w.slots {
+		rr := finalizeSlot(&w.slots[i], minScore)
+		if rr.Aligned {
+			stats.Aligned++
+		}
+		if w.exact[i] {
+			stats.ExactReads++
+		}
+		out <- rr
+	}
+	stats.Reads += len(w.slots)
+}

@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"sync/atomic"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// slot is a read's in-flight best alignment. rank is the canonical merge
+// rank of the adopted candidate: segment in the high 32 bits, the
+// candidate's post-filter batch index below. Adopting a candidate only
+// when it strictly beats the incumbent under align.Result's total order —
+// or ties it with a lower rank — makes the merge associative and
+// commutative, so extend lanes may process batches in any interleaving
+// and still reproduce the fused sequential loop byte for byte.
+type slot struct {
+	res     align.Result
+	rank    int64
+	aligned bool
+}
+
+// window is one admission unit of reads moving through the stage graph:
+// the whole batch for AlignBatch, a bounded slice of the input stream for
+// AlignStream. All its buffers are reused across windows.
+type window struct {
+	reads  []dna.Seq // caller's read sequences
+	revs   []dna.Seq // reverse complements, backed by revBuf
+	revBuf dna.Seq
+
+	slots []slot
+	exact []bool // read resolved via the exact-match fast path somewhere
+
+	// cursors hand out chunk claims per segment; chunk is the claim size.
+	cursors []atomic.Int64
+	chunk   int64
+	bar     *barrier
+
+	// pending counts in-flight batches plus one sentinel held while any
+	// seed lane is still producing; whoever drops it to zero closes done.
+	pending atomic.Int64
+	seeders atomic.Int32
+	done    chan struct{}
+
+	traced bool
+}
+
+func newWindow() *window { return &window{} }
+
+// prepare readies the window for n admitted reads (already stored in
+// w.reads[:n]) against a pipeline with the given lane counts, computing
+// reverse complements into the reused backing buffer and resetting the
+// per-segment cursors, merge slots, and completion protocol.
+func (w *window) prepare(p *Pipeline, traced bool) {
+	n := len(w.reads)
+	total := 0
+	for _, r := range w.reads {
+		total += len(r)
+	}
+	if cap(w.revBuf) < total {
+		w.revBuf = make(dna.Seq, 0, total)
+	}
+	buf := w.revBuf[:0]
+	if cap(w.revs) < n {
+		w.revs = make([]dna.Seq, n)
+	}
+	w.revs = w.revs[:n]
+	for i, r := range w.reads {
+		start := len(buf)
+		buf = dna.AppendRevComp(buf, r)
+		w.revs[i] = buf[start:len(buf):len(buf)]
+	}
+	w.revBuf = buf
+
+	if cap(w.slots) < n {
+		w.slots = make([]slot, n)
+	}
+	w.slots = w.slots[:n]
+	for i := range w.slots {
+		w.slots[i] = slot{}
+	}
+	if cap(w.exact) < n {
+		w.exact = make([]bool, n)
+	}
+	w.exact = w.exact[:n]
+	for i := range w.exact {
+		w.exact[i] = false
+	}
+
+	segs := p.index.NumSegments()
+	if cap(w.cursors) < segs {
+		w.cursors = make([]atomic.Int64, segs)
+	}
+	w.cursors = w.cursors[:segs]
+	for i := range w.cursors {
+		w.cursors[i].Store(0)
+	}
+	w.chunk = claimChunk(n, p.params.SeedLanes)
+	if w.bar == nil || w.bar.parties != p.params.SeedLanes {
+		w.bar = newBarrier(p.params.SeedLanes)
+	}
+
+	w.pending.Store(1) // seeding sentinel
+	w.seeders.Store(int32(p.params.SeedLanes))
+	w.done = make(chan struct{})
+	w.traced = traced
+}
+
+// finishBatch retires one unit of pending work; the last one (batch or
+// seeding sentinel) completes the window. The atomic chain from every
+// lane's final write to this close is the happens-before edge that lets
+// the emitter read slots and exact flags without locks.
+//
+//genax:hotpath
+func (w *window) finishBatch() {
+	if w.pending.Add(-1) == 0 {
+		close(w.done)
+	}
+}
+
+// seederDone is called by each seed lane after its last segment pass over
+// this window; the final lane removes the seeding sentinel.
+//
+//genax:hotpath
+func (w *window) seederDone() {
+	if w.seeders.Add(-1) == 0 {
+		w.finishBatch()
+	}
+}
