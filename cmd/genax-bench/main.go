@@ -11,15 +11,20 @@
 //	genax-bench all       everything above
 //
 // Flags: -quick shrinks the workload; -genome/-coverage/-seed resize it;
-// -cpuprofile/-memprofile write pprof profiles of the selected experiment
-// (see EXPERIMENTS.md for the profiling workflow); -allocbudget N measures
-// steady-state AlignBatch heap allocations per read after the experiment
-// and exits non-zero when they exceed N; -stages prints the per-stage
-// wall-clock and queue-occupancy breakdown of the staged pipeline (the
-// Fig 11 seed/extend lane balance).
+// -engine selects the extension engine (bitsilla, sillax, banded);
+// -compare-engines runs the workload through every engine, prints wall
+// clock, extend-stage busy time, allocations and result-hash equality, and
+// writes the measurements to BENCH_extend.json; -cpuprofile/-memprofile
+// write pprof profiles of the selected experiment (see EXPERIMENTS.md for
+// the profiling workflow); -allocbudget N measures steady-state AlignBatch
+// heap allocations per read after the experiment and exits non-zero when
+// they exceed N; -stages prints the per-stage wall-clock and
+// queue-occupancy breakdown of the staged pipeline (the Fig 11 seed/extend
+// lane balance).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ import (
 	"runtime/pprof"
 
 	"genax/internal/bench"
+	"genax/internal/core"
 )
 
 func main() {
@@ -40,6 +46,9 @@ func run() int {
 	genome := flag.Int("genome", 0, "override synthetic genome length (bases)")
 	coverage := flag.Float64("coverage", 0, "override read coverage")
 	seed := flag.Int64("seed", 0, "override workload RNG seed")
+	engine := flag.String("engine", "", "extension engine: bitsilla (default), sillax, or banded")
+	compareEngines := flag.Bool("compare-engines", false,
+		"run the workload through every extension engine, print the comparison, and write BENCH_extend.json")
 	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -52,7 +61,7 @@ func run() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() != 1 && !(*compareEngines && flag.NArg() == 0) {
 		flag.Usage()
 		return 2
 	}
@@ -69,6 +78,13 @@ func run() int {
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+	spec.Engine = core.Engine(*engine)
+
+	if *compareEngines {
+		if code := runCompareEngines(spec); code != 0 || flag.NArg() == 0 {
+			return code
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -126,6 +142,33 @@ func run() int {
 	}
 	f()
 	return runChecks(spec, *allocbudget, *stages)
+}
+
+// runCompareEngines measures every extension engine on the workload,
+// prints the comparison, writes BENCH_extend.json, and fails when the
+// bit-parallel engine's results diverge from the cycle-level oracle.
+func runCompareEngines(spec bench.WorkloadSpec) int {
+	cmp, err := bench.CompareEngines(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-engines: %v\n", err)
+		return 1
+	}
+	fmt.Println(cmp)
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-engines: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile("BENCH_extend.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-engines: %v\n", err)
+		return 1
+	}
+	fmt.Println("wrote BENCH_extend.json")
+	if !cmp.OracleMatch {
+		fmt.Fprintf(os.Stderr, "genax-bench: engine results diverge from the oracle\n")
+		return 1
+	}
+	return 0
 }
 
 // runChecks executes the post-experiment measurements (-stages, -allocbudget).

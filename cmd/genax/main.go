@@ -178,6 +178,7 @@ func cmdAlign(args []string) error {
 	kmer := fs.Int("kmer", 12, "k-mer length")
 	segLen := fs.Int("segment", 1<<20, "segment length (bases)")
 	k := fs.Int("k", 40, "SillaX edit bound")
+	engine := fs.String("engine", "bitsilla", "extension engine: bitsilla, sillax, or banded")
 	stats := fs.Bool("stats", false, "print pipeline statistics to stderr")
 	stream := fs.Bool("stream", false, "align via the streaming pipeline (bounded memory, results emitted as windows complete)")
 	if err := fs.Parse(args); err != nil {
@@ -203,6 +204,7 @@ func cmdAlign(args []string) error {
 	cfg.KmerLen = *kmer
 	cfg.SegmentLen = *segLen
 	cfg.K = *k
+	cfg.Engine = core.Engine(*engine)
 	aligner, err := core.New(ref, cfg)
 	if err != nil {
 		return err

@@ -23,7 +23,10 @@ func main() {
 	// 2. A GenAx instance with a small streaming window so several windows
 	//    rotate through the pipeline even on this toy read set. The chip's
 	//    128:4 seeding:extension lane split (§VI) is scaled to the host by
-	//    default; set SeedLanes/ExtendLanes to pin it.
+	//    default; set SeedLanes/ExtendLanes to pin it. Extension runs on
+	//    the bit-parallel engine by default; cfg.Engine selects
+	//    core.EngineSillaX or core.EngineBanded for byte-identical results
+	//    from the cycle model or the software baseline.
 	cfg := core.DefaultConfig()
 	cfg.SegmentLen = 32_768
 	cfg.StreamWindow = 64

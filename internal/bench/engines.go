@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"time"
+
+	"genax/internal/core"
+	"genax/internal/dna"
+)
+
+// EngineRun is one extension engine's measurement over the workload: a
+// warmed AlignBatch timed wall-clock, the extend stage's busy time from
+// the injected instrument, steady-state allocations per read, and an
+// FNV-1a digest of every read's (aligned, position, score, strand, cigar)
+// tuple so result equality across engines is a single comparison.
+type EngineRun struct {
+	Engine        string        `json:"engine"`
+	Wall          time.Duration `json:"wall_ns"`
+	ExtendBusy    time.Duration `json:"extend_busy_ns"`
+	AllocsPerRead float64       `json:"allocs_per_read"`
+	Aligned       int           `json:"aligned"`
+	ResultHash    uint64        `json:"result_hash"`
+	// MatchesOracle reports hash equality with the cycle-level run.
+	MatchesOracle bool `json:"matches_oracle"`
+}
+
+// EngineComparison is the -compare-engines report: the same workload
+// through every engine, with speedups quoted against the cycle-level
+// oracle. The bit-parallel engine must hash identically to the oracle;
+// the banded software baseline is included for scale but has different
+// alignment semantics, so its hash legitimately differs.
+type EngineComparison struct {
+	Reads          int         `json:"reads"`
+	Runs           []EngineRun `json:"runs"`
+	ExtendSpeedup  float64     `json:"extend_speedup_bitsilla_vs_sillax"`
+	EndToEndGain   float64     `json:"end_to_end_speedup_bitsilla_vs_sillax"`
+	OracleMatch    bool        `json:"bitsilla_matches_oracle"`
+	OracleMismatch string      `json:"mismatch,omitempty"`
+}
+
+// compareOrder fixes the measurement sequence (oracle first so later runs
+// can be checked against it).
+var compareOrder = []core.Engine{core.EngineSillaX, core.EngineBitSilla, core.EngineBanded}
+
+// CompareEngines runs the workload through each extension engine and
+// reports wall clock, extend-stage busy time, allocation behaviour and
+// result digests. This is the acceptance harness for the bit-parallel
+// engine: same results as the cycle model, at a fraction of the extend
+// time.
+func CompareEngines(spec WorkloadSpec) (EngineComparison, error) {
+	wl := spec.Build()
+	reads := ReadSeqs(wl)
+	if len(reads) == 0 {
+		return EngineComparison{}, fmt.Errorf("bench: workload produced no reads")
+	}
+	out := EngineComparison{Reads: len(reads)}
+	for _, eng := range compareOrder {
+		run, err := measureEngine(spec, wl.Ref, reads, eng)
+		if err != nil {
+			return EngineComparison{}, err
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	oracle, bit := out.Runs[0], out.Runs[1]
+	for i := range out.Runs {
+		out.Runs[i].MatchesOracle = out.Runs[i].ResultHash == oracle.ResultHash
+	}
+	out.OracleMatch = bit.ResultHash == oracle.ResultHash
+	if !out.OracleMatch {
+		out.OracleMismatch = fmt.Sprintf("bitsilla hash %016x != sillax hash %016x", bit.ResultHash, oracle.ResultHash)
+	}
+	if bit.ExtendBusy > 0 {
+		out.ExtendSpeedup = float64(oracle.ExtendBusy) / float64(bit.ExtendBusy)
+	}
+	if bit.Wall > 0 {
+		out.EndToEndGain = float64(oracle.Wall) / float64(bit.Wall)
+	}
+	return out, nil
+}
+
+// measureEngine builds an instrumented aligner for one engine, warms the
+// lane scratch with a throwaway batch, then times a second identical batch.
+func measureEngine(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, eng core.Engine) (EngineRun, error) {
+	cfg := CoreConfig(spec)
+	cfg.Engine = eng
+	inst := &core.Instrument{Now: func() int64 { return time.Now().UnixNano() }}
+	cfg.Instrument = inst
+	aligner, err := core.New(ref, cfg)
+	if err != nil {
+		return EngineRun{}, err
+	}
+	if res, _ := aligner.AlignBatch(reads); len(res) != len(reads) {
+		return EngineRun{}, fmt.Errorf("bench: AlignBatch dropped reads")
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	busy0 := inst.Extend.BusyNanos.Load()
+	start := time.Now()
+	results, _ := aligner.AlignBatch(reads)
+	wall := time.Since(start)
+	busy := inst.Extend.BusyNanos.Load() - busy0
+	runtime.ReadMemStats(&after)
+
+	h := fnv.New64a()
+	var buf [8]byte
+	aligned := 0
+	for _, rr := range results {
+		if !rr.Aligned {
+			_, _ = h.Write([]byte{0})
+			continue
+		}
+		aligned++
+		_, _ = h.Write([]byte{1})
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(rr.Result.RefPos)))
+		_, _ = h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(rr.Result.Score)))
+		_, _ = h.Write(buf[:])
+		if rr.Result.Reverse {
+			_, _ = h.Write([]byte{1})
+		} else {
+			_, _ = h.Write([]byte{0})
+		}
+		_, _ = h.Write([]byte(rr.Result.Cigar.String()))
+	}
+	return EngineRun{
+		Engine:        string(eng),
+		Wall:          wall,
+		ExtendBusy:    time.Duration(busy),
+		AllocsPerRead: float64(after.Mallocs-before.Mallocs) / float64(len(reads)),
+		Aligned:       aligned,
+		ResultHash:    h.Sum64(),
+	}, nil
+}
+
+func (c EngineComparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "extension-engine comparison (%d reads)\n", c.Reads)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %8s %16s %7s\n",
+		"engine", "wall", "extendbusy", "allocs/read", "aligned", "resulthash", "=oracle")
+	for _, r := range c.Runs {
+		fmt.Fprintf(&b, "%-10s %12v %12v %12.2f %8d %016x %7v\n",
+			r.Engine, r.Wall.Round(time.Microsecond), r.ExtendBusy.Round(time.Microsecond),
+			r.AllocsPerRead, r.Aligned, r.ResultHash, r.MatchesOracle)
+	}
+	fmt.Fprintf(&b, "bitsilla vs sillax: extend stage %.2fx, end to end %.2fx\n",
+		c.ExtendSpeedup, c.EndToEndGain)
+	if c.OracleMatch {
+		b.WriteString("bitsilla results are byte-identical to the cycle-level oracle")
+	} else {
+		b.WriteString("MISMATCH: " + c.OracleMismatch)
+	}
+	return b.String()
+}

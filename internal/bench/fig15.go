@@ -36,6 +36,9 @@ func Fig15(spec WorkloadSpec) Fig15Result {
 	wl := spec.Build()
 	reads := ReadSeqs(wl)
 	cfg := CoreConfig(spec)
+	// The throughput model consumes cycles-per-extension including the
+	// §IV-C re-runs, which only the cycle-level machine counts.
+	cfg.Engine = core.EngineSillaX
 	aligner, err := core.New(wl.Ref, cfg)
 	if err != nil {
 		panic(err)

@@ -33,12 +33,30 @@ type Instrument = pipeline.Instrument
 // StageMetrics is one stage's share of an Instrument.
 type StageMetrics = pipeline.StageMetrics
 
+// Engine names the extension engine backing the extend lanes; see
+// pipeline.Engine.
+type Engine = pipeline.Engine
+
+// Extension engine selectors.
+const (
+	// EngineBitSilla is the bit-parallel Silla machine (the default).
+	EngineBitSilla = pipeline.EngineBitSilla
+	// EngineSillaX is the cycle-level reference machine.
+	EngineSillaX = pipeline.EngineSillaX
+	// EngineBanded is the software banded Smith-Waterman baseline.
+	EngineBanded = pipeline.EngineBanded
+)
+
 // Config parametrizes a GenAx instance.
 type Config struct {
 	// K is the SillaX edit bound (40 in the paper).
 	K int
 	// Scoring is the extension scheme (BWA-MEM defaults).
 	Scoring align.Scoring
+	// Engine selects the extension engine ("" = EngineBitSilla). The
+	// cycle-level EngineSillaX stays available as the reference oracle
+	// and for figure reproductions that need re-run accounting.
+	Engine Engine
 	// KmerLen is the index k-mer size (12 in the paper; smaller values
 	// keep laptop-scale index tables dense).
 	KmerLen int
@@ -103,6 +121,7 @@ func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 	pipe, err := pipeline.New(ref, idx, pipeline.Params{
 		K:             cfg.K,
 		Scoring:       cfg.Scoring,
+		Engine:        cfg.Engine,
 		Seeding:       cfg.Seeding,
 		MinScore:      cfg.MinScore,
 		Workers:       cfg.Workers,

@@ -9,6 +9,7 @@ package extend
 
 import (
 	"genax/internal/align"
+	"genax/internal/bitsilla"
 	"genax/internal/dna"
 	"genax/internal/sillax"
 	"genax/internal/sw"
@@ -54,6 +55,18 @@ type SillaXEngine struct{ M *sillax.TracebackMachine }
 //
 //genax:hotpath
 func (e SillaXEngine) Extend(ref, query dna.Seq) Extension {
+	res := e.M.Extend(ref, query)
+	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+}
+
+// BitSillaEngine adapts the bit-parallel Silla machine — byte-identical
+// results to SillaXEngine at word-parallel speed; the production default.
+type BitSillaEngine struct{ M *bitsilla.Machine }
+
+// Extend implements Engine.
+//
+//genax:hotpath
+func (e BitSillaEngine) Extend(ref, query dna.Seq) Extension {
 	res := e.M.Extend(ref, query)
 	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"genax/internal/align"
+	"genax/internal/bitsilla"
 	"genax/internal/dna"
 	"genax/internal/sillax"
 	"genax/internal/sw"
@@ -44,6 +45,32 @@ func engines(k int) []namedEngine {
 	return []namedEngine{
 		{"banded", BandedEngine{A: sw.NewBandedAligner(sc, k)}},
 		{"sillax", SillaXEngine{M: sillax.NewTracebackMachine(k, sc)}},
+		{"bitsilla", BitSillaEngine{M: bitsilla.New(k, sc)}},
+	}
+}
+
+// TestBitSillaStitchParity runs whole stitched alignments through the
+// bit-parallel and cycle-level engines: the composed results (position,
+// score, cigar) must be byte-identical, not just the raw extensions.
+func TestBitSillaStitchParity(t *testing.T) {
+	r := rand.New(rand.NewSource(129))
+	sc := align.BWAMEMDefaults()
+	k := 24
+	ref := randSeq(r, 4000)
+	bit := Stitcher{Eng: BitSillaEngine{M: bitsilla.New(k, sc)}}
+	cyc := Stitcher{Eng: SillaXEngine{M: sillax.NewTracebackMachine(k, sc)}}
+	for trial := 0; trial < 60; trial++ {
+		pos := r.Intn(3000)
+		readLen := 60 + r.Intn(80)
+		seedS := r.Intn(readLen - 20)
+		seedE := seedS + 20
+		read := plantRead(r, ref, pos, readLen, seedS, seedE, r.Intn(8))
+		got := bit.AlignAt(sc, ref, read, seedS, seedE, pos+seedS, k)
+		want := cyc.AlignAt(sc, ref, read, seedS, seedE, pos+seedS, k)
+		if got.Score != want.Score || got.RefPos != want.RefPos ||
+			got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("trial %d: bitsilla %v vs sillax %v", trial, got, want)
+		}
 	}
 }
 

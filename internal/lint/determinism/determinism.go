@@ -29,6 +29,7 @@ import (
 // documents the contract; extend the set when a new kernel package lands.
 var Packages = map[string]bool{
 	"genax/internal/align":    true,
+	"genax/internal/bitsilla": true,
 	"genax/internal/core":     true,
 	"genax/internal/extend":   true,
 	"genax/internal/pipeline": true,

@@ -11,5 +11,5 @@ func TestDeterminism(t *testing.T) {
 	// The rules apply inside the declared deterministic packages and nowhere
 	// else: otherpkg holds the same constructs with no expectations.
 	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
-		"genax/internal/seed", "otherpkg")
+		"genax/internal/seed", "genax/internal/bitsilla", "otherpkg")
 }

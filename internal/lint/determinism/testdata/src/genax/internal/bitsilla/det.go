@@ -1,0 +1,49 @@
+// Package bitsilla's testdata twin: the bit-parallel kernel is on the
+// determinism list, so entropy sources are flagged inside it while the
+// word-parallel idioms the real kernel uses stay legal.
+package bitsilla
+
+import (
+	"math/bits"
+	"math/rand"
+	"time"
+)
+
+func planeScan(rows [7]uint64) int {
+	live := 0
+	for p := 0; p < 7; p++ { // plain index loops are fine
+		for rw := rows[p]; rw != 0; rw &= rw - 1 {
+			live += bits.TrailingZeros64(rw)
+		}
+	}
+	return live
+}
+
+func arrayRange(qeq [4]uint64) uint64 {
+	var or uint64
+	for _, w := range qeq { // ranging an array is deterministic
+		or |= w
+	}
+	return or
+}
+
+func trailByCell(trail map[int]uint64) uint64 {
+	var or uint64
+	for _, w := range trail { // want `range over map`
+		or |= w
+	}
+	return or
+}
+
+func cycleClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func randomTieBreak() int {
+	return rand.Intn(2) // want `math/rand.Intn in deterministic package`
+}
+
+func seededFuzzInput() int {
+	r := rand.New(rand.NewSource(60)) // seeded generators stay legal
+	return r.Intn(4)
+}

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"genax/internal/dna"
+)
+
+// TestEngineByteIdentity is the production-default equivalence: the
+// bit-parallel engine must reproduce the cycle-level oracle's AlignBatch
+// and AlignStream output byte for byte — every position, score, strand and
+// cigar — across lane splits, so swapping the default engine is invisible
+// to every consumer of the pipeline.
+func TestEngineByteIdentity(t *testing.T) {
+	p := smallParams()
+	p.Engine = EngineSillaX
+	oracle, wl := testPipeline(t, p, 440, 30000, 0.03)
+	reads := workloadReads(wl, 80)
+	want, wantStats := oracle.AlignBatch(reads)
+
+	cases := []struct {
+		name                   string
+		seedLanes, extendLanes int
+	}{
+		{"default-split", 0, 0},
+		{"1x1", 1, 1},
+		{"6x3", 6, 3},
+	}
+	for _, tc := range cases {
+		bp := smallParams()
+		bp.Engine = EngineBitSilla
+		bp.SeedLanes, bp.ExtendLanes = tc.seedLanes, tc.extendLanes
+		pl, err := New(oracle.ref, oracle.index, bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats := pl.AlignBatch(reads)
+		for i := range want {
+			sameResult(t, "bitsilla/"+tc.name, i, got[i], want[i])
+		}
+		// Work counters that do not depend on engine internals must also
+		// agree; cycle counts legitimately differ (the bit engine has no
+		// re-runs), so they are excluded.
+		if got, want := gotStats.Extensions, wantStats.Extensions; got != want {
+			t.Errorf("%s: %d extensions, want %d", tc.name, got, want)
+		}
+		if got, want := gotStats.Aligned, wantStats.Aligned; got != want {
+			t.Errorf("%s: %d aligned, want %d", tc.name, got, want)
+		}
+		if gotStats.ReRuns != 0 {
+			t.Errorf("%s: bit engine reported %d re-runs, want 0", tc.name, gotStats.ReRuns)
+		}
+	}
+
+	// Streaming path under the bit engine against the oracle's batch.
+	sp := smallParams()
+	sp.Engine = EngineBitSilla
+	sp.SeedLanes, sp.ExtendLanes, sp.Window = 4, 2, 17
+	pl, err := New(oracle.ref, oracle.index, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan dna.Seq, len(reads))
+	for _, r := range reads {
+		in <- r
+	}
+	close(in)
+	out, _ := pl.AlignStream(context.Background(), in)
+	i := 0
+	for rr := range out {
+		sameResult(t, "bitsilla/stream", i, rr, want[i])
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("stream: %d results, want %d", i, len(want))
+	}
+}
+
+// TestEngineBandedRuns pins the software-baseline selector: the banded
+// engine has different alignment semantics (no byte-identity claim), but
+// it must flow through the same stages and align the workload.
+func TestEngineBandedRuns(t *testing.T) {
+	p := smallParams()
+	p.Engine = EngineBanded
+	pl, wl := testPipeline(t, p, 441, 20000, 0.02)
+	reads := workloadReads(wl, 40)
+	results, stats := pl.AlignBatch(reads)
+	aligned := 0
+	for _, rr := range results {
+		if rr.Aligned {
+			aligned++
+		}
+	}
+	if aligned < len(reads)*9/10 {
+		t.Fatalf("banded engine aligned %d/%d reads", aligned, len(reads))
+	}
+	if stats.ReRuns != 0 || stats.ExtensionCycles != 0 {
+		t.Errorf("banded engine reported machine cycles %d / re-runs %d, want 0/0",
+			stats.ExtensionCycles, stats.ReRuns)
+	}
+}
+
+// TestEngineValidation pins selector resolution: empty means bitsilla,
+// anything unknown is rejected at construction.
+func TestEngineValidation(t *testing.T) {
+	pl, _ := testPipeline(t, smallParams(), 442, 12000, 0)
+	if got := pl.Params().Engine; got != EngineBitSilla {
+		t.Errorf("default engine resolved to %q, want %q", got, EngineBitSilla)
+	}
+	p := smallParams()
+	p.Engine = "cuda"
+	if _, err := New(pl.ref, pl.index, p); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -2,14 +2,16 @@ package pipeline
 
 import (
 	"genax/internal/align"
+	"genax/internal/bitsilla"
 	"genax/internal/dna"
 	"genax/internal/extend"
 	"genax/internal/hw"
 	"genax/internal/sillax"
+	"genax/internal/sw"
 )
 
-// countingEngine wraps a SillaX lane, accumulating cycle and re-run
-// counters across extensions.
+// countingEngine wraps a cycle-level SillaX lane, accumulating cycle and
+// re-run counters across extensions.
 type countingEngine struct {
 	m      *sillax.TracebackMachine
 	cycles *int64
@@ -24,25 +26,54 @@ func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
 	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
 }
 
-// extendLane is one ExtendStage worker's persistent state: the SillaX
-// traceback machine, the extension stitcher with its reversal scratch,
-// work counters, and — when tracing — the lane-local hw.LaneWork list.
+// bitCountingEngine wraps a bit-parallel Silla lane. Re-runs stay zero:
+// the time-indexed trail cannot break, so there is nothing to re-execute.
+type bitCountingEngine struct {
+	m      *bitsilla.Machine
+	cycles *int64
+}
+
+//genax:hotpath
+func (e bitCountingEngine) Extend(ref, query dna.Seq) extend.Extension {
+	res := e.m.Extend(ref, query)
+	*e.cycles += int64(res.Cycles)
+	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+}
+
+// extendLane is one ExtendStage worker's persistent state: the extension
+// engine selected by Params.Engine, the stitcher with its reversal
+// scratch, work counters, and — when tracing — the lane-local hw.LaneWork
+// list.
 type extendLane struct {
 	p     *Pipeline
-	eng   countingEngine
 	st    extend.Stitcher
 	stats Stats
 	trace []hw.LaneWork
 }
 
+// newEngine builds one lane's extension engine per Params.Engine, wiring
+// the cycle counters of the Silla machines into stats.
+func (p *Pipeline) newEngine(stats *Stats) extend.Engine {
+	switch p.params.Engine {
+	case EngineSillaX:
+		return countingEngine{
+			m:      sillax.NewTracebackMachine(p.params.K, p.params.Scoring),
+			cycles: &stats.ExtensionCycles,
+			reruns: &stats.ReRuns,
+		}
+	case EngineBanded:
+		return extend.BandedEngine{A: sw.NewBandedAligner(p.params.Scoring, p.params.K)}
+	default: // EngineBitSilla
+		return bitCountingEngine{
+			m:      bitsilla.New(p.params.K, p.params.Scoring),
+			cycles: &stats.ExtensionCycles,
+		}
+	}
+}
+
 func (p *Pipeline) newExtendLane() *extendLane {
 	l := &extendLane{p: p}
-	l.eng = countingEngine{
-		m:      sillax.NewTracebackMachine(p.params.K, p.params.Scoring),
-		cycles: &l.stats.ExtensionCycles,
-		reruns: &l.stats.ReRuns,
-	}
-	l.st = extend.Stitcher{Eng: l.eng}
+	l.st = extend.Stitcher{Eng: p.newEngine(&l.stats)}
 	return l
 }
 

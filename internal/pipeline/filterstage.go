@@ -66,9 +66,13 @@ func (p *Pipeline) filterWorker(pl *pool) {
 			b.recycle(pl.free)
 			continue
 		}
-		pl.extendIn[b.lane] <- b
+		// Capture the lane before the send: once the batch crosses the
+		// queue the extend stage may recycle it and a seed worker may
+		// reset it, so b must not be touched afterwards.
+		lane := b.lane
+		pl.extendIn[lane] <- b
 		if inst != nil {
-			inst.Filter.sample(len(pl.extendIn[b.lane]))
+			inst.Filter.sample(len(pl.extendIn[lane]))
 		}
 	}
 }

@@ -49,12 +49,32 @@ const (
 // DefaultWindow bounds the reads a stream holds in flight per window.
 const DefaultWindow = 1024
 
+// Engine names the extension engine backing the extend lanes. All three
+// produce full-query cigars through the same extend.Stitcher; bitsilla and
+// sillax are byte-identical to each other by construction.
+type Engine string
+
+const (
+	// EngineBitSilla is the bit-parallel Silla machine — the production
+	// default: same observable semantics as the cycle model at
+	// word-parallel speed.
+	EngineBitSilla Engine = "bitsilla"
+	// EngineSillaX is the cycle-level SillaX traceback machine, kept as
+	// the reference oracle and for hardware figure reproductions that
+	// need per-cycle re-run accounting.
+	EngineSillaX Engine = "sillax"
+	// EngineBanded is the software banded Smith-Waterman baseline.
+	EngineBanded Engine = "banded"
+)
+
 // Params configures a Pipeline.
 type Params struct {
 	// K is the SillaX edit bound (margin allowed around a read).
 	K int
 	// Scoring is the extension scheme.
 	Scoring align.Scoring
+	// Engine selects the extension engine ("" = EngineBitSilla).
+	Engine Engine
 	// Seeding carries the §V optimization switches.
 	Seeding seed.Options
 	// MinScore suppresses alignments below the reporting floor. The gate
@@ -119,6 +139,13 @@ func New(ref dna.Seq, index *seed.SegmentedIndex, p Params) (*Pipeline, error) {
 	}
 	if index == nil {
 		return nil, fmt.Errorf("pipeline: nil segment index")
+	}
+	switch p.Engine {
+	case "":
+		p.Engine = EngineBitSilla
+	case EngineBitSilla, EngineSillaX, EngineBanded:
+	default:
+		return nil, fmt.Errorf("pipeline: unknown engine %q", p.Engine)
 	}
 	budget := p.Workers
 	if budget <= 0 {

@@ -4,12 +4,32 @@ package seed
 // uses to intersect hit sets (§V). It tracks the lookup counts that Fig 16b
 // reports. The stored set is the current candidate hits; intersection
 // probes one incoming value per lookup.
+//
+// The store is a flat open-addressed table (power-of-two slots, linear
+// probing) instead of a Go map: one multiply and a handful of contiguous
+// slots per probe, no per-entry hashing overhead, and — the part the
+// chunked path leans on — reloads are O(1). Each slot carries a generation
+// tag; a slot is live only when its tag equals the CAM's current
+// generation, so Load just bumps the generation and the previous contents
+// expire wholesale, with no tombstones and no clearing pass. This mirrors
+// the hardware: a CAM reload is a broadcast invalidate, not a sweep.
 type CAM struct {
-	size    int
-	entries map[int32]struct{}
+	size int
+
+	// keys/gens form the open-addressed table; slot i holds keys[i] only
+	// when gens[i] == gen. Sized to at least twice the largest loaded set
+	// (load factor <= 1/2 bounds probe runs), grown lazily by ensureTable
+	// so a huge logical capacity (experiment configs use one to disable
+	// the binary-search fallback) costs nothing until sets that big load.
+	keys  []int32
+	gens  []uint32
+	gen   uint32
+	mask  uint32
+	shift uint32
+
 	// matched is the reusable scratch of IntersectChunkedInto (one flag
-	// per candidate, cleared between lookups); the hardware equivalent is
-	// the per-entry match bit latched across chunk passes.
+	// per candidate, latched across chunk passes); the hardware equivalent
+	// is the per-entry match bit.
 	matched []bool
 
 	// Stats accumulated across operations (reset with ResetStats).
@@ -18,18 +38,21 @@ type CAM struct {
 	Overflow int // times a set larger than the CAM had to be handled
 }
 
+// minTableBits keeps the smallest table at 8 slots so the probe masks are
+// always valid.
+const minTableBits = 3
+
+// camHashMul spreads keys over the table's top bits (Fibonacci hashing).
+const camHashMul = 0x9E3779B1
+
 // NewCAM builds a CAM with the given capacity (512 in GenAx).
 func NewCAM(size int) *CAM {
 	if size < 1 {
 		size = 1
 	}
-	hint := size
-	if hint > 4096 {
-		// Cap the map pre-allocation: experiment configs use a huge
-		// logical capacity to disable the binary-search fallback.
-		hint = 4096
-	}
-	return &CAM{size: size, entries: make(map[int32]struct{}, hint)}
+	c := &CAM{size: size, gen: 1}
+	c.grow(minTableBits)
+	return c
 }
 
 // Size returns the capacity.
@@ -37,6 +60,71 @@ func (c *CAM) Size() int { return c.size }
 
 // ResetStats clears the counters.
 func (c *CAM) ResetStats() { c.Lookups, c.Writes, c.Overflow = 0, 0, 0 }
+
+// grow replaces the table with a fresh 2^bits-slot one. The generation
+// restarts at 1 over the zeroed tags, so no slot is live.
+func (c *CAM) grow(bits uint32) {
+	n := 1 << bits
+	c.keys = make([]int32, n)
+	c.gens = make([]uint32, n)
+	c.mask = uint32(n - 1)
+	c.shift = 32 - bits
+	c.gen = 1
+}
+
+// beginLoad starts a new stored set of up to n values: it guarantees table
+// slack (at least 2n slots) and expires the previous set by bumping the
+// generation. On the rare tag wraparound the tags are cleared so ancient
+// entries cannot resurrect.
+//
+//genax:hotpath
+func (c *CAM) beginLoad(n int) {
+	if need := 2 * n; need > len(c.keys) {
+		bits := uint32(minTableBits)
+		for 1<<bits < need {
+			bits++
+		}
+		c.grow(bits)
+		return
+	}
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.gens {
+			c.gens[i] = 0
+		}
+		c.gen = 1
+	}
+}
+
+// insert stores v in the current generation (duplicates collapse, like the
+// set semantics of the hardware's parallel write).
+//
+//genax:hotpath
+func (c *CAM) insert(v int32) {
+	h := (uint32(v) * camHashMul) >> c.shift
+	for c.gens[h] == c.gen {
+		if c.keys[h] == v {
+			return
+		}
+		h = (h + 1) & c.mask
+	}
+	c.keys[h] = v
+	c.gens[h] = c.gen
+}
+
+// contains probes v against the current generation.
+//
+//genax:hotpath
+func (c *CAM) contains(v int32) bool {
+	h := (uint32(v) * camHashMul) >> c.shift
+	for c.gens[h] == c.gen {
+		if c.keys[h] == v {
+			return true
+		}
+		h = (h + 1) & c.mask
+	}
+	return false
+}
 
 // Load replaces the stored set with vals. It reports false (and counts an
 // overflow) when vals exceeds capacity — callers then fall back to binary
@@ -48,9 +136,9 @@ func (c *CAM) Load(vals []int32) bool {
 		c.Overflow++
 		return false
 	}
-	clear(c.entries)
+	c.beginLoad(len(vals))
 	for _, v := range vals {
-		c.entries[v] = struct{}{}
+		c.insert(v)
 	}
 	c.Writes += len(vals)
 	return true
@@ -69,7 +157,7 @@ func (c *CAM) IntersectProbe(incoming []int32) []int32 {
 func (c *CAM) IntersectProbeInto(dst, incoming []int32) []int32 {
 	c.Lookups += len(incoming)
 	for _, v := range incoming {
-		if _, ok := c.entries[v]; ok {
+		if c.contains(v) {
 			dst = append(dst, v)
 		}
 	}
@@ -150,7 +238,8 @@ func (c *CAM) ensureMatched(n int) []bool {
 // IntersectChunkedInto is IntersectChunked appending into dst (which may be
 // a reused scratch slice); it returns the extended slice. The per-candidate
 // match flags live in a scratch slice owned by the CAM and cleared between
-// lookups, so steady-state intersection does not allocate.
+// lookups, so steady-state intersection does not allocate; each chunk's
+// reload is a generation bump, not a table sweep.
 //
 //genax:hotpath
 func (c *CAM) IntersectChunkedInto(dst, cur, incoming []int32) []int32 {
@@ -163,14 +252,14 @@ func (c *CAM) IntersectChunkedInto(dst, cur, incoming []int32) []int32 {
 		if hi > len(incoming) {
 			hi = len(incoming)
 		}
-		clear(c.entries)
+		c.beginLoad(hi - lo)
 		for _, v := range incoming[lo:hi] {
-			c.entries[v] = struct{}{}
+			c.insert(v)
 		}
 		c.Writes += hi - lo
 		c.Lookups += len(cur)
 		for j, v := range cur {
-			if _, ok := c.entries[v]; ok {
+			if c.contains(v) {
 				matched[j] = true
 			}
 		}

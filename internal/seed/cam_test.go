@@ -71,6 +71,158 @@ func TestIntersectChunkedIntoNoAlloc(t *testing.T) {
 	}
 }
 
+// camSlot recomputes a value's home slot with the table's own hash —
+// white-box, so the wraparound test can construct genuine collisions at
+// the last slot instead of guessing.
+func camSlot(c *CAM, v int32) uint32 {
+	return (uint32(v) * camHashMul) >> c.shift
+}
+
+// TestCAMProbeWraparound forces a collision run that starts at the last
+// slot of the table, so linear probing must wrap to slot 0: every collided
+// value has to remain findable and non-members hashing into the same run
+// must still miss.
+func TestCAMProbeWraparound(t *testing.T) {
+	c := NewCAM(512)
+	last := c.mask
+	var vals []int32
+	var absent []int32
+	for v := int32(0); len(vals) < 3 || len(absent) < 2; v++ {
+		if camSlot(c, v) == last {
+			if len(vals) < 3 {
+				vals = append(vals, v)
+			} else {
+				absent = append(absent, v)
+			}
+		}
+		if v > 1<<20 {
+			t.Fatal("could not construct colliding values")
+		}
+	}
+	if !c.Load(vals) {
+		t.Fatal("load rejected")
+	}
+	if c.mask != last {
+		t.Fatalf("table grew during load (mask %d -> %d); collisions invalidated", last, c.mask)
+	}
+	for _, v := range vals {
+		if !c.contains(v) {
+			t.Errorf("collided value %d (slot %d) not found after wraparound", v, camSlot(c, v))
+		}
+	}
+	for _, v := range absent {
+		if c.contains(v) {
+			t.Errorf("non-member %d matched", v)
+		}
+	}
+}
+
+// TestCAMGenerationReload pins the tombstone-free reload: consecutive
+// Loads share the table with no clearing pass, so members of an earlier
+// set must expire the moment a new set loads — including values whose
+// slots the new set does not touch.
+func TestCAMGenerationReload(t *testing.T) {
+	c := NewCAM(64)
+	r := rand.New(rand.NewSource(221))
+	prev := map[int32]bool{}
+	for round := 0; round < 50; round++ {
+		n := 1 + r.Intn(64)
+		set := make([]int32, n)
+		cur := map[int32]bool{}
+		for i := range set {
+			set[i] = int32(r.Intn(500))
+			cur[set[i]] = true
+		}
+		if !c.Load(set) {
+			t.Fatalf("round %d: load of %d values rejected", round, n)
+		}
+		for v := int32(0); v < 500; v++ {
+			if got := c.contains(v); got != cur[v] {
+				t.Fatalf("round %d: contains(%d) = %v, want %v (stale=%v)",
+					round, v, got, cur[v], prev[v])
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestCAMGenerationWrap drives the uint32 generation counter over its
+// wraparound: entries loaded at the maximum generation must not resurrect
+// once the counter wraps and the tags are wiped.
+func TestCAMGenerationWrap(t *testing.T) {
+	c := NewCAM(16)
+	c.gen = ^uint32(0) - 1
+	if !c.Load([]int32{7, 8, 9}) { // loads at the maximum generation
+		t.Fatal("load rejected")
+	}
+	if !c.contains(8) {
+		t.Fatal("member missing before wrap")
+	}
+	if !c.Load([]int32{1, 2}) { // wraps: tags cleared, gen restarts at 1
+		t.Fatal("load rejected")
+	}
+	if c.gen == 0 {
+		t.Fatal("generation stuck at 0 after wrap")
+	}
+	for _, v := range []int32{7, 8, 9} {
+		if c.contains(v) {
+			t.Errorf("pre-wrap value %d resurrected", v)
+		}
+	}
+	if !c.contains(1) || !c.contains(2) {
+		t.Error("post-wrap set incomplete")
+	}
+}
+
+// TestCAMLazyTableGrowth pins the lazy sizing: a CAM with a huge logical
+// capacity (experiment configs use one to disable the binary-search
+// fallback) must not allocate a huge table up front, only grow to fit the
+// sets actually loaded.
+func TestCAMLazyTableGrowth(t *testing.T) {
+	c := NewCAM(1 << 30)
+	if len(c.keys) > 1<<minTableBits {
+		t.Fatalf("fresh CAM table has %d slots", len(c.keys))
+	}
+	vals := make([]int32, 300)
+	for i := range vals {
+		vals[i] = int32(i * 17)
+	}
+	if !c.Load(vals) {
+		t.Fatal("load rejected")
+	}
+	if len(c.keys) < 2*len(vals) {
+		t.Fatalf("table %d slots, want >= %d for probe-run bound", len(c.keys), 2*len(vals))
+	}
+	if len(c.keys) > 4*len(vals) {
+		t.Fatalf("table %d slots for %d values — oversized", len(c.keys), len(vals))
+	}
+	for _, v := range vals {
+		if !c.contains(v) {
+			t.Fatalf("member %d missing after growth", v)
+		}
+	}
+}
+
+// TestCAMLoadOverflow preserves the overflow accounting contract.
+func TestCAMLoadOverflow(t *testing.T) {
+	c := NewCAM(4)
+	if c.Load([]int32{1, 2, 3, 4, 5}) {
+		t.Fatal("oversized load accepted")
+	}
+	if c.Overflow != 1 {
+		t.Fatalf("Overflow = %d, want 1", c.Overflow)
+	}
+	if c.Writes != 0 {
+		t.Fatalf("Writes = %d after rejected load, want 0", c.Writes)
+	}
+	if !c.Load([]int32{1, 2, 3, 4}) {
+		t.Fatal("exact-capacity load rejected")
+	}
+	if c.Writes != 4 {
+		t.Fatalf("Writes = %d, want 4", c.Writes)
+	}
+}
+
 // TestIntersectIntoAppendSemantics checks the Into variants extend dst
 // rather than replacing it.
 func TestIntersectIntoAppendSemantics(t *testing.T) {

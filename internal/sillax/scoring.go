@@ -105,18 +105,13 @@ func (m *ScoringMachine) Extend(ref, query dna.Seq) ExtendResult {
 	k, w := m.k, m.w
 	n, q2 := len(ref), len(query)
 	m.reset()
-	a := int32(m.sc.Match)
-	b := int32(m.sc.Mismatch)
-	open := int32(m.sc.GapOpen + m.sc.GapExtend)
-	ext := int32(m.sc.GapExtend)
+	cs := NewCosts(m.sc)
+	a, b, open, ext := cs.A, cs.B, cs.Open, cs.Ext
 
 	best := int32(0)
 	bestI, bestD, bestCycle := 0, 0, 0
 
-	maxCycle := n + k
-	if q2+k > maxCycle {
-		maxCycle = q2 + k
-	}
+	maxCycle := StreamCycles(n, q2, k)
 	// Streaming bound: past max(n,q)+... nothing new can be consumed, but
 	// states may still drift for a few cycles; the triangle caps i+d at k
 	// so maxCycle covers every live state.

@@ -1,0 +1,38 @@
+package sillax
+
+import "genax/internal/align"
+
+// Neg is the exported "register empty" value shared by every Silla-style
+// machine (including the bit-parallel engine in internal/bitsilla, which
+// must agree bit for bit with the cycle model's empty-register compares).
+const Neg = neg
+
+// Costs is the integer decomposition of an align.Scoring as the machines
+// consume it: match reward A, substitution penalty B, and the delayed-
+// merging affine pair where Open already includes the first extension
+// (a gap of length L costs Open + (L-1)*Ext).
+type Costs struct {
+	A, B, Open, Ext int32
+}
+
+// NewCosts decomposes sc into machine costs.
+func NewCosts(sc align.Scoring) Costs {
+	return Costs{
+		A:    int32(sc.Match),
+		B:    int32(sc.Mismatch),
+		Open: int32(sc.GapOpen + sc.GapExtend),
+		Ext:  int32(sc.GapExtend),
+	}
+}
+
+// StreamCycles is the streaming-phase bound for ref length n and query
+// length qn under edit bound k: past max(n,qn)+k nothing new can be
+// consumed and the i+d<=k triangle caps how long states may still drift,
+// so every live state is covered.
+func StreamCycles(n, qn, k int) int {
+	mc := n + k
+	if qn+k > mc {
+		mc = qn + k
+	}
+	return mc
+}

@@ -177,19 +177,14 @@ func (m *TracebackMachine) Extend(ref, query dna.Seq) TracebackResult {
 	k, w := m.k, m.w
 	n, qn := len(ref), len(query)
 	m.reset()
-	a := int32(m.sc.Match)
-	b := int32(m.sc.Mismatch)
-	open := int32(m.sc.GapOpen + m.sc.GapExtend)
-	ext := int32(m.sc.GapExtend)
+	cs := NewCosts(m.sc)
+	a, b, open, ext := cs.A, cs.B, cs.Open, cs.Ext
 
 	var bestNode *tnode
 	best := int32(0)
 	bestI, bestD, bestCycle := 0, 0, 0
 
-	maxCycle := n + k
-	if qn+k > maxCycle {
-		maxCycle = qn + k
-	}
+	maxCycle := StreamCycles(n, qn, k)
 	for c := 0; c <= maxCycle; c++ {
 		any := false
 		for i := 0; i <= k; i++ {
