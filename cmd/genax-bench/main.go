@@ -49,6 +49,8 @@ func run() int {
 	engine := flag.String("engine", "", "extension engine: bitsilla (default), sillax, or banded")
 	compareEngines := flag.Bool("compare-engines", false,
 		"run the workload through every extension engine, print the comparison, and write BENCH_extend.json")
+	compareSeed := flag.Bool("compare-seed", false,
+		"run the workload through the per-probe and rolling seed paths plus serial/parallel index builds, print the comparison, and write BENCH_seed.json")
 	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -56,12 +58,14 @@ func run() int {
 		"after the experiment, measure steady-state AlignBatch allocations per read and fail if above this budget (0 disables)")
 	stages := flag.Bool("stages", false,
 		"after the experiment, print the per-stage wall-clock and queue-occupancy breakdown (Fig 11 lane balance)")
+	indexCache := flag.String("indexcache", "",
+		"keep the segmented index in an on-disk cache under this directory: the first run builds and writes it, later runs load it instead of rebuilding (empty disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: genax-bench [flags] {fig12|fig13|fig14|fig15|fig16|table2|validate|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 && !(*compareEngines && flag.NArg() == 0) {
+	if flag.NArg() != 1 && !((*compareEngines || *compareSeed) && flag.NArg() == 0) {
 		flag.Usage()
 		return 2
 	}
@@ -80,11 +84,20 @@ func run() int {
 		spec.Seed = *seed
 	}
 	spec.Engine = core.Engine(*engine)
+	spec.IndexCacheDir = *indexCache
 
 	if *compareEngines {
-		if code := runCompareEngines(spec); code != 0 || flag.NArg() == 0 {
+		if code := runCompareEngines(spec); code != 0 {
 			return code
 		}
+	}
+	if *compareSeed {
+		if code := runCompareSeed(spec); code != 0 {
+			return code
+		}
+	}
+	if flag.NArg() == 0 {
+		return 0
 	}
 
 	if *cpuprofile != "" {
@@ -166,6 +179,39 @@ func runCompareEngines(spec bench.WorkloadSpec) int {
 	fmt.Println("wrote BENCH_extend.json")
 	if !cmp.OracleMatch {
 		fmt.Fprintf(os.Stderr, "genax-bench: engine results diverge from the oracle\n")
+		return 1
+	}
+	return 0
+}
+
+// runCompareSeed measures the per-probe and rolling seed paths plus the
+// serial/parallel index builds, prints the comparison, writes
+// BENCH_seed.json, and fails when the rolling path's results or work
+// counters diverge from the per-probe baseline — or when the parallel
+// index build is not byte-identical to the serial one.
+func runCompareSeed(spec bench.WorkloadSpec) int {
+	cmp, err := bench.CompareSeed(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-seed: %v\n", err)
+		return 1
+	}
+	fmt.Println(cmp)
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-seed: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile("BENCH_seed.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-seed: %v\n", err)
+		return 1
+	}
+	fmt.Println("wrote BENCH_seed.json")
+	if !cmp.ResultMatch {
+		fmt.Fprintf(os.Stderr, "genax-bench: rolling-scan results diverge from the per-probe baseline\n")
+		return 1
+	}
+	if !cmp.IndexHashMatch {
+		fmt.Fprintf(os.Stderr, "genax-bench: parallel index build diverges from the serial build\n")
 		return 1
 	}
 	return 0

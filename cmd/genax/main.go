@@ -5,6 +5,10 @@
 //	genax align    -ref ./data/ref.fasta -reads ./data/reads.fastq
 //	genax eval     -aln aln.tsv -truth ./data/truth.tsv
 //
+// index writes a versioned, checksummed cache of the per-segment tables
+// next to the reference (see internal/indexio); align auto-loads it when
+// present, so repeated runs skip the table rebuild.
+//
 // align writes SAM-like records (QNAME FLAG RNAME POS MAPQ CIGAR AS:i:score)
 // to stdout.
 package main
@@ -22,6 +26,8 @@ import (
 
 	"genax/internal/core"
 	"genax/internal/dna"
+	"genax/internal/indexio"
+	"genax/internal/seed"
 	"genax/internal/sim"
 )
 
@@ -149,6 +155,8 @@ func cmdIndex(args []string) error {
 	refPath := fs.String("ref", "", "reference FASTA")
 	kmer := fs.Int("kmer", 12, "k-mer length")
 	segLen := fs.Int("segment", 1<<20, "segment length (bases)")
+	out := fs.String("out", "auto",
+		`index cache output: "auto" writes the keyed cache file next to -ref (the one align auto-loads), "" skips writing, anything else is an explicit path`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,7 +176,49 @@ func cmdIndex(args []string) error {
 	}
 	fmt.Printf("reference: %d bp; segments: %d x %d bp (overlap %d); k-mer: %d\n",
 		len(ref), aligner.NumSegments(), cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+	if *out == "" {
+		return nil
+	}
+	path := *out
+	if path == "auto" {
+		path, err = indexio.CachePath(filepath.Dir(*refPath), ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
+		if err != nil {
+			return err
+		}
+	}
+	if err := indexio.WriteFile(path, aligner.Index(), ref); err != nil {
+		return err
+	}
+	fmt.Printf("wrote index cache %s (hash %016x)\n", path, aligner.Index().Hash())
 	return nil
+}
+
+// loadIndexCache resolves the align -index flag: "" disables the cache,
+// "auto" probes the keyed cache file next to the reference (missing or
+// stale files fall back to an in-process build with a note), and any other
+// value is an explicit path whose load failures are fatal — the user asked
+// for that file specifically.
+func loadIndexCache(mode, refPath string, ref dna.Seq, cfg core.Config) (*seed.SegmentedIndex, error) {
+	switch mode {
+	case "":
+		return nil, nil
+	case "auto":
+		path, err := indexio.CachePath(filepath.Dir(refPath), ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
+		if err != nil {
+			return nil, err
+		}
+		sx, err := indexio.ReadFile(path, ref)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "genax: ignoring index cache %s: %v\n", path, err)
+			}
+			return nil, nil
+		}
+		fmt.Fprintf(os.Stderr, "genax: loaded index cache %s\n", path)
+		return sx, nil
+	default:
+		return indexio.ReadFile(mode, ref)
+	}
 }
 
 func cmdAlign(args []string) error {
@@ -181,6 +231,8 @@ func cmdAlign(args []string) error {
 	engine := fs.String("engine", "bitsilla", "extension engine: bitsilla, sillax, or banded")
 	stats := fs.Bool("stats", false, "print pipeline statistics to stderr")
 	stream := fs.Bool("stream", false, "align via the streaming pipeline (bounded memory, results emitted as windows complete)")
+	indexFlag := fs.String("index", "auto",
+		`index cache: "auto" loads the genax-index cache next to -ref when present, "" always rebuilds, anything else is an explicit cache path`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,6 +257,10 @@ func cmdAlign(args []string) error {
 	cfg.SegmentLen = *segLen
 	cfg.K = *k
 	cfg.Engine = core.Engine(*engine)
+	cfg.Index, err = loadIndexCache(*indexFlag, *refPath, ref, cfg)
+	if err != nil {
+		return err
+	}
 	aligner, err := core.New(ref, cfg)
 	if err != nil {
 		return err

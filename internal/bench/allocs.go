@@ -43,7 +43,11 @@ func AllocsPerRead(spec WorkloadSpec, budget float64) (AllocBudgetResult, error)
 	if len(reads) == 0 {
 		return AllocBudgetResult{}, fmt.Errorf("bench: workload produced no reads")
 	}
-	aligner, err := core.New(wl.Ref, CoreConfig(spec))
+	cfg := CoreConfig(spec)
+	if err := spec.ApplyIndexCache(wl.Ref, &cfg); err != nil {
+		return AllocBudgetResult{}, err
+	}
+	aligner, err := core.New(wl.Ref, cfg)
 	if err != nil {
 		return AllocBudgetResult{}, err
 	}

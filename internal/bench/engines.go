@@ -89,6 +89,9 @@ func measureEngine(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, eng core.Eng
 	cfg.Engine = eng
 	inst := &core.Instrument{Now: func() int64 { return time.Now().UnixNano() }}
 	cfg.Instrument = inst
+	if err := spec.ApplyIndexCache(ref, &cfg); err != nil {
+		return EngineRun{}, err
+	}
 	aligner, err := core.New(ref, cfg)
 	if err != nil {
 		return EngineRun{}, err
@@ -106,9 +109,23 @@ func measureEngine(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, eng core.Eng
 	busy := inst.Extend.BusyNanos.Load() - busy0
 	runtime.ReadMemStats(&after)
 
+	hash, aligned := digestResults(results)
+	return EngineRun{
+		Engine:        string(eng),
+		Wall:          wall,
+		ExtendBusy:    time.Duration(busy),
+		AllocsPerRead: float64(after.Mallocs-before.Mallocs) / float64(len(reads)),
+		Aligned:       aligned,
+		ResultHash:    hash,
+	}, nil
+}
+
+// digestResults folds every read's (aligned, position, score, strand,
+// cigar) tuple into one FNV-1a digest and counts the aligned reads, so
+// result equality across engines or scan modes is a single comparison.
+func digestResults(results []core.ReadResult) (hash uint64, aligned int) {
 	h := fnv.New64a()
 	var buf [8]byte
-	aligned := 0
 	for _, rr := range results {
 		if !rr.Aligned {
 			_, _ = h.Write([]byte{0})
@@ -127,14 +144,7 @@ func measureEngine(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, eng core.Eng
 		}
 		_, _ = h.Write([]byte(rr.Result.Cigar.String()))
 	}
-	return EngineRun{
-		Engine:        string(eng),
-		Wall:          wall,
-		ExtendBusy:    time.Duration(busy),
-		AllocsPerRead: float64(after.Mallocs-before.Mallocs) / float64(len(reads)),
-		Aligned:       aligned,
-		ResultHash:    h.Sum64(),
-	}, nil
+	return h.Sum64(), aligned
 }
 
 func (c EngineComparison) String() string {

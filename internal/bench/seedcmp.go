@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"genax/internal/core"
+	"genax/internal/dna"
+	"genax/internal/seed"
+)
+
+// SeedRun is one scan mode's measurement over the workload: a warmed
+// AlignBatch timed wall-clock, the seed stage's busy time from the
+// injected instrument, steady-state allocations per read, and the shared
+// result digest — the seed-stage mirror of EngineRun.
+type SeedRun struct {
+	Scan          string        `json:"scan"`
+	Wall          time.Duration `json:"wall_ns"`
+	SeedBusy      time.Duration `json:"seed_busy_ns"`
+	AllocsPerRead float64       `json:"allocs_per_read"`
+	Aligned       int           `json:"aligned"`
+	IndexLookups  int64         `json:"index_lookups"`
+	CAMLookups    int64         `json:"cam_lookups"`
+	ResultHash    uint64        `json:"result_hash"`
+	// MatchesBaseline reports hash equality with the per-probe run.
+	MatchesBaseline bool `json:"matches_baseline"`
+}
+
+// SeedComparison is the -compare-seed report: the same workload through
+// the pre-overhaul per-probe seed path and the rolling-scan path, plus the
+// serial-vs-parallel index build, mirroring the -compare-engines pattern.
+// The rolling run must hash identically to the per-probe baseline, and the
+// parallel index build must hash identically to the serial one.
+type SeedComparison struct {
+	Reads              int           `json:"reads"`
+	Runs               []SeedRun     `json:"runs"`
+	SeedSpeedup        float64       `json:"seed_speedup_rolling_vs_perprobe"`
+	EndToEndGain       float64       `json:"end_to_end_speedup_rolling_vs_perprobe"`
+	IndexBuildSerial   time.Duration `json:"index_build_serial_ns"`
+	IndexBuildParallel time.Duration `json:"index_build_parallel_ns"`
+	IndexBuildWorkers  int           `json:"index_build_workers"`
+	IndexBuildSpeedup  float64       `json:"index_build_speedup"`
+	IndexHash          uint64        `json:"index_hash"`
+	IndexHashMatch     bool          `json:"parallel_matches_serial_index"`
+	ResultMatch        bool          `json:"rolling_matches_perprobe"`
+	ResultMismatch     string        `json:"mismatch,omitempty"`
+}
+
+// seedCompareOrder fixes the measurement sequence (baseline first so the
+// rolling run can be checked against it).
+var seedCompareOrder = []seed.ScanMode{seed.ScanPerProbe, seed.ScanRolling}
+
+// CompareSeed times the serial and parallel index builds, then runs the
+// workload through the per-probe and rolling seed paths over the SAME
+// parallel-built index, reporting seed-stage busy time, allocations, work
+// counters, and result digests. This is the acceptance harness for the
+// seed-stage overhaul: same results and same modelled work counts as the
+// old path, at a fraction of the seed time.
+func CompareSeed(spec WorkloadSpec) (SeedComparison, error) {
+	wl := spec.Build()
+	reads := ReadSeqs(wl)
+	if len(reads) == 0 {
+		return SeedComparison{}, fmt.Errorf("bench: workload produced no reads")
+	}
+	cfg := CoreConfig(spec)
+	out := SeedComparison{Reads: len(reads), IndexBuildWorkers: runtime.GOMAXPROCS(0)}
+
+	t0 := time.Now()
+	serial, err := seed.BuildSegmentedIndexWith(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen, 1)
+	if err != nil {
+		return SeedComparison{}, err
+	}
+	out.IndexBuildSerial = time.Since(t0)
+	t0 = time.Now()
+	parallel, err := seed.BuildSegmentedIndexWith(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen, 0)
+	if err != nil {
+		return SeedComparison{}, err
+	}
+	out.IndexBuildParallel = time.Since(t0)
+	out.IndexHash = parallel.Hash()
+	out.IndexHashMatch = serial.Hash() == out.IndexHash
+	if out.IndexBuildParallel > 0 {
+		out.IndexBuildSpeedup = float64(out.IndexBuildSerial) / float64(out.IndexBuildParallel)
+	}
+
+	for _, mode := range seedCompareOrder {
+		run, err := measureSeedRun(spec, wl.Ref, reads, parallel, mode)
+		if err != nil {
+			return SeedComparison{}, err
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	base, rolling := out.Runs[0], out.Runs[1]
+	for i := range out.Runs {
+		out.Runs[i].MatchesBaseline = out.Runs[i].ResultHash == base.ResultHash
+	}
+	out.ResultMatch = rolling.ResultHash == base.ResultHash &&
+		rolling.IndexLookups == base.IndexLookups && rolling.CAMLookups == base.CAMLookups
+	if !out.ResultMatch {
+		out.ResultMismatch = fmt.Sprintf(
+			"rolling (hash %016x, lookups %d/%d) != perprobe (hash %016x, lookups %d/%d)",
+			rolling.ResultHash, rolling.IndexLookups, rolling.CAMLookups,
+			base.ResultHash, base.IndexLookups, base.CAMLookups)
+	}
+	if rolling.SeedBusy > 0 {
+		out.SeedSpeedup = float64(base.SeedBusy) / float64(rolling.SeedBusy)
+	}
+	if rolling.Wall > 0 {
+		out.EndToEndGain = float64(base.Wall) / float64(rolling.Wall)
+	}
+	return out, nil
+}
+
+// measureSeedRun builds an instrumented aligner for one scan mode over a
+// prebuilt index, warms the lane scratch with a throwaway batch, then
+// times a second identical batch — measureEngine's shape, pointed at the
+// seed stage.
+func measureSeedRun(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, idx *seed.SegmentedIndex, mode seed.ScanMode) (SeedRun, error) {
+	cfg := CoreConfig(spec)
+	cfg.Seeding.Scan = mode
+	cfg.Index = idx
+	inst := &core.Instrument{Now: func() int64 { return time.Now().UnixNano() }}
+	cfg.Instrument = inst
+	aligner, err := core.New(ref, cfg)
+	if err != nil {
+		return SeedRun{}, err
+	}
+	if res, _ := aligner.AlignBatch(reads); len(res) != len(reads) {
+		return SeedRun{}, fmt.Errorf("bench: AlignBatch dropped reads")
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	busy0 := inst.Seed.BusyNanos.Load()
+	start := time.Now()
+	results, stats := aligner.AlignBatch(reads)
+	wall := time.Since(start)
+	busy := inst.Seed.BusyNanos.Load() - busy0
+	runtime.ReadMemStats(&after)
+
+	hash, aligned := digestResults(results)
+	return SeedRun{
+		Scan:          string(mode),
+		Wall:          wall,
+		SeedBusy:      time.Duration(busy),
+		AllocsPerRead: float64(after.Mallocs-before.Mallocs) / float64(len(reads)),
+		Aligned:       aligned,
+		IndexLookups:  stats.IndexLookups,
+		CAMLookups:    stats.CAMLookups,
+		ResultHash:    hash,
+	}, nil
+}
+
+func (c SeedComparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed-stage comparison (%d reads)\n", c.Reads)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %8s %12s %16s %9s\n",
+		"scan", "wall", "seedbusy", "allocs/read", "aligned", "idxlookups", "resulthash", "=baseline")
+	for _, r := range c.Runs {
+		fmt.Fprintf(&b, "%-10s %12v %12v %12.2f %8d %12d %016x %9v\n",
+			r.Scan, r.Wall.Round(time.Microsecond), r.SeedBusy.Round(time.Microsecond),
+			r.AllocsPerRead, r.Aligned, r.IndexLookups, r.ResultHash, r.MatchesBaseline)
+	}
+	fmt.Fprintf(&b, "rolling vs perprobe: seed stage %.2fx, end to end %.2fx\n", c.SeedSpeedup, c.EndToEndGain)
+	fmt.Fprintf(&b, "index build: serial %v, parallel %v on %d workers (%.2fx); hashes match: %v\n",
+		c.IndexBuildSerial.Round(time.Microsecond), c.IndexBuildParallel.Round(time.Microsecond),
+		c.IndexBuildWorkers, c.IndexBuildSpeedup, c.IndexHashMatch)
+	if c.ResultMatch {
+		b.WriteString("rolling-scan results and work counters are identical to the per-probe baseline")
+	} else {
+		b.WriteString("MISMATCH: " + c.ResultMismatch)
+	}
+	return b.String()
+}

@@ -26,11 +26,22 @@ type StageBreakdown struct {
 	Reads  int
 	Total  time.Duration // wall clock of the whole AlignBatch
 	Stages []StageRow
+	// IndexBuild is segmented-index construction time, spent before the
+	// pipeline ran (not part of Total); zero when the index was loaded
+	// from the on-disk cache instead of built.
+	IndexBuild    time.Duration
+	IndexSegments int64
 }
 
 func (b StageBreakdown) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pipeline stage breakdown (%d reads, wall %v)\n", b.Reads, b.Total.Round(time.Millisecond))
+	if b.IndexBuild > 0 {
+		fmt.Fprintf(&sb, "index build %v (%d segments, before the pipeline; cached loads report 0)\n",
+			b.IndexBuild.Round(time.Microsecond), b.IndexSegments)
+	} else {
+		sb.WriteString("index build 0s (loaded from cache)\n")
+	}
 	fmt.Fprintf(&sb, "%-8s %12s %6s %9s %9s %9s %6s\n",
 		"stage", "busy", "share", "batches", "items", "avgqueue", "maxq")
 	for _, r := range b.Stages {
@@ -50,6 +61,9 @@ func Stages(spec WorkloadSpec) (StageBreakdown, error) {
 	cfg := CoreConfig(spec)
 	inst := &core.Instrument{Now: func() int64 { return time.Now().UnixNano() }}
 	cfg.Instrument = inst
+	if err := spec.ApplyIndexCache(wl.Ref, &cfg); err != nil {
+		return StageBreakdown{}, err
+	}
 	aligner, err := core.New(wl.Ref, cfg)
 	if err != nil {
 		return StageBreakdown{}, err
@@ -58,7 +72,12 @@ func Stages(spec WorkloadSpec) (StageBreakdown, error) {
 	if res, _ := aligner.AlignBatch(reads); len(res) != len(reads) {
 		return StageBreakdown{}, fmt.Errorf("bench: AlignBatch dropped reads")
 	}
-	out := StageBreakdown{Reads: len(reads), Total: time.Since(start)}
+	out := StageBreakdown{
+		Reads:         len(reads),
+		Total:         time.Since(start),
+		IndexBuild:    time.Duration(inst.IndexBuild.BusyNanos.Load()),
+		IndexSegments: inst.IndexBuild.Items.Load(),
+	}
 	rows := []struct {
 		name string
 		m    *core.StageMetrics

@@ -8,6 +8,8 @@ package bench
 import (
 	"genax/internal/core"
 	"genax/internal/dna"
+	"genax/internal/indexio"
+	"genax/internal/seed"
 	"genax/internal/sim"
 )
 
@@ -28,6 +30,11 @@ type WorkloadSpec struct {
 	// default). Figure reproductions that need the cycle model's re-run
 	// accounting pin core.EngineSillaX regardless of this field.
 	Engine core.Engine
+	// IndexCacheDir, when set, makes the experiment drivers keep the
+	// segmented index in an on-disk cache keyed by reference and geometry
+	// (see ApplyIndexCache): the first build writes the file, every later
+	// run loads it instead of rebuilding.
+	IndexCacheDir string
 }
 
 // DefaultWorkload is the standard experiment input.
@@ -55,6 +62,34 @@ func ReadSeqs(wl *sim.Workload) []dna.Seq {
 		out[i] = r.Seq
 	}
 	return out
+}
+
+// ApplyIndexCache populates cfg.Index from the workload's on-disk index
+// cache when IndexCacheDir is set: a valid cache file is loaded, anything
+// else (missing, corrupt, stale) is replaced by a fresh build that is
+// written back, so repeated bench runs pay the table construction once.
+// With IndexCacheDir empty it is a no-op and core.New builds in-process.
+func (w WorkloadSpec) ApplyIndexCache(ref dna.Seq, cfg *core.Config) error {
+	if w.IndexCacheDir == "" {
+		return nil
+	}
+	path, err := indexio.CachePath(w.IndexCacheDir, ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
+	if err != nil {
+		return err
+	}
+	if sx, err := indexio.ReadFile(path, ref); err == nil {
+		cfg.Index = sx
+		return nil
+	}
+	sx, err := seed.BuildSegmentedIndex(ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+	if err != nil {
+		return err
+	}
+	if err := indexio.WriteFile(path, sx, ref); err != nil {
+		return err
+	}
+	cfg.Index = sx
+	return nil
 }
 
 // CoreConfig scales the GenAx configuration to the workload (segment size

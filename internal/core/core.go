@@ -82,6 +82,12 @@ type Config struct {
 	StreamWindow int
 	// Instrument, when non-nil, collects per-stage metrics.
 	Instrument *Instrument
+	// Index, when non-nil, is a prebuilt segmented index (typically loaded
+	// from the on-disk cache via internal/indexio) used instead of building
+	// tables from ref. Its geometry must match KmerLen, SegmentLen,
+	// Overlap, and len(ref); New rejects mismatches so a stale cache can
+	// never silently misalign reads.
+	Index *seed.SegmentedIndex
 }
 
 // DefaultConfig mirrors the paper, scaled to a laptop-sized reference.
@@ -114,9 +120,26 @@ func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 	if cfg.SegmentLen < cfg.Overlap {
 		return nil, fmt.Errorf("core: segment length %d below overlap %d", cfg.SegmentLen, cfg.Overlap)
 	}
-	idx, err := seed.BuildSegmentedIndex(ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
-	if err != nil {
-		return nil, err
+	idx := cfg.Index
+	if idx != nil {
+		switch {
+		case idx.RefLen != len(ref):
+			return nil, fmt.Errorf("core: prebuilt index covers %d bases, reference has %d", idx.RefLen, len(ref))
+		case idx.SegLen != cfg.SegmentLen:
+			return nil, fmt.Errorf("core: prebuilt index segment length %d, config wants %d", idx.SegLen, cfg.SegmentLen)
+		case idx.Overlap != cfg.Overlap:
+			return nil, fmt.Errorf("core: prebuilt index overlap %d, config wants %d", idx.Overlap, cfg.Overlap)
+		case idx.K != cfg.KmerLen:
+			return nil, fmt.Errorf("core: prebuilt index k-mer length %d, config wants %d", idx.K, cfg.KmerLen)
+		}
+	} else {
+		t0 := cfg.Instrument.ClockNow()
+		built, err := seed.BuildSegmentedIndex(ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+		if err != nil {
+			return nil, err
+		}
+		idx = built
+		cfg.Instrument.RecordIndexBuild(t0, cfg.Instrument.ClockNow(), idx.NumSegments())
 	}
 	pipe, err := pipeline.New(ref, idx, pipeline.Params{
 		K:             cfg.K,
@@ -145,6 +168,12 @@ func (a *Aligner) Ref() dna.Seq { return a.ref }
 
 // NumSegments returns the segment count.
 func (a *Aligner) NumSegments() int { return a.index.NumSegments() }
+
+// Index returns the segmented index the aligner runs against — the one
+// built by New or the prebuilt one passed via Config.Index. Callers (the
+// index cache writer) must treat it as read-only: the pipeline's lanes
+// borrow its tables concurrently.
+func (a *Aligner) Index() *seed.SegmentedIndex { return a.index }
 
 // AlignBatch maps all reads, processing the reference segment-major like
 // the chip: for each segment, every read is seeded against that segment's

@@ -61,3 +61,24 @@ func (c *KmerCodec) Decode(km Kmer) Seq {
 func (c *KmerCodec) Roll(prev Kmer, next Base) Kmer {
 	return (prev<<2 | Kmer(next&3)) & c.mask
 }
+
+// AppendScan appends the encodings of every k-length window of s to dst —
+// dst[i] is the k-mer of s[i:i+k] — and returns the extended slice. The
+// whole scan is one Encode plus one Roll per remaining base, so callers
+// that probe many windows of the same sequence (the seeding lanes, the
+// index builder) pay O(len(s)) once instead of O(k) per probe. A sequence
+// shorter than k appends nothing.
+//
+//genax:hotpath
+func (c *KmerCodec) AppendScan(dst []Kmer, s Seq) []Kmer {
+	if len(s) < c.k {
+		return dst
+	}
+	km, _ := c.Encode(s, 0)
+	dst = append(dst, km)
+	for p := c.k; p < len(s); p++ {
+		km = c.Roll(km, s[p])
+		dst = append(dst, km)
+	}
+	return dst
+}

@@ -83,6 +83,37 @@ func TestKmerRollMatchesEncode(t *testing.T) {
 	}
 }
 
+func TestKmerAppendScanMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 5, 12, 31} {
+		c, _ := NewKmerCodec(k)
+		for _, n := range []int{0, k - 1, k, k + 1, k + 57} {
+			s := randSeq(r, n)
+			scan := c.AppendScan(nil, s)
+			wantLen := n - k + 1
+			if wantLen < 0 {
+				wantLen = 0
+			}
+			if len(scan) != wantLen {
+				t.Fatalf("k=%d n=%d: scan length %d, want %d", k, n, len(scan), wantLen)
+			}
+			for pos, km := range scan {
+				want, ok := c.Encode(s, pos)
+				if !ok || km != want {
+					t.Fatalf("k=%d n=%d pos=%d: scan %d, Encode %d (ok=%v)", k, n, pos, km, want, ok)
+				}
+			}
+		}
+	}
+	// Appending must extend dst, not replace it.
+	c, _ := NewKmerCodec(2)
+	dst := []Kmer{42}
+	dst = c.AppendScan(dst, MustParseSeq("ACG"))
+	if len(dst) != 3 || dst[0] != 42 {
+		t.Errorf("AppendScan clobbered dst prefix: %v", dst)
+	}
+}
+
 func TestKmerDecodeEncodeRoundTrip(t *testing.T) {
 	c, _ := NewKmerCodec(8)
 	r := rand.New(rand.NewSource(6))

@@ -31,6 +31,7 @@ var kernelPackages = map[string]bool{
 	"genax/internal/align":    true,
 	"genax/internal/core":     true,
 	"genax/internal/extend":   true,
+	"genax/internal/indexio":  true,
 	"genax/internal/pipeline": true,
 	"genax/internal/seed":     true,
 	"genax/internal/silla":    true,

@@ -58,6 +58,10 @@ type Instrument struct {
 	Now func() int64
 
 	Seed, Filter, Extend StageMetrics
+
+	// IndexBuild charges table construction, which happens before the
+	// pipeline exists; core.New records it via RecordIndexBuild.
+	IndexBuild StageMetrics
 }
 
 // now tolerates a nil Instrument or a nil clock.
@@ -66,4 +70,19 @@ func (i *Instrument) now() int64 {
 		return 0
 	}
 	return i.Now()
+}
+
+// ClockNow reads the injected clock, tolerating a nil Instrument or clock
+// (both read as 0). It exists so code outside the pipeline — the index
+// build in core.New — can time itself against the same clock the stage
+// workers use.
+func (i *Instrument) ClockNow() int64 { return i.now() }
+
+// RecordIndexBuild charges one index construction spanning [t0,t1] (clock
+// units) covering segments segments. Safe on a nil Instrument.
+func (i *Instrument) RecordIndexBuild(t0, t1 int64, segments int) {
+	if i == nil {
+		return
+	}
+	i.IndexBuild.record(t0, t1, 1, int64(segments))
 }

@@ -147,6 +147,13 @@ func New(ref dna.Seq, index *seed.SegmentedIndex, p Params) (*Pipeline, error) {
 	default:
 		return nil, fmt.Errorf("pipeline: unknown engine %q", p.Engine)
 	}
+	switch p.Seeding.Scan {
+	case "":
+		p.Seeding.Scan = seed.ScanRolling
+	case seed.ScanRolling, seed.ScanPerProbe:
+	default:
+		return nil, fmt.Errorf("pipeline: unknown scan mode %q", p.Seeding.Scan)
+	}
 	budget := p.Workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)

@@ -253,3 +253,209 @@ func TestIntersectionStrategiesAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestSparseAndDenseBuildsAgree(t *testing.T) {
+	// Both build strategies must produce byte-identical tables; exercise
+	// them directly on the same scans, across densities that would pick
+	// either path naturally.
+	r := rand.New(rand.NewSource(102))
+	for _, tc := range []struct {
+		refLen, k int
+	}{
+		{50, 2},   // tiny k-mer space, dense regime
+		{5000, 4}, // dense regime
+		{5000, 8}, // sparse regime
+		{300, 12}, // very sparse
+		{3, 6},    // no windows at all
+		{1000, 1}, // k=1 edge
+	} {
+		ref := randSeq(r, tc.refLen)
+		codec, err := dna.NewKmerCodec(tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(ref) - tc.k + 1
+		if n < 0 {
+			n = 0
+		}
+		kms := codec.AppendScan(nil, ref)
+		sparse := &SegmentIndex{Ref: ref, codec: codec, presence: make([]uint64, presenceWords(codec.NumKmers()))}
+		sparse.buildSparse(append([]dna.Kmer(nil), kms...), codec.NumKmers())
+		dense := &SegmentIndex{Ref: ref, codec: codec, presence: make([]uint64, presenceWords(codec.NumKmers()))}
+		dense.buildDense(kms, codec.NumKmers())
+		if len(sparse.start) != len(dense.start) || len(sparse.positions) != len(dense.positions) {
+			t.Fatalf("%+v: table sizes differ (start %d/%d, positions %d/%d)",
+				tc, len(sparse.start), len(dense.start), len(sparse.positions), len(dense.positions))
+		}
+		for i := range sparse.start {
+			if sparse.start[i] != dense.start[i] {
+				t.Fatalf("%+v: start[%d] = %d sparse vs %d dense", tc, i, sparse.start[i], dense.start[i])
+			}
+		}
+		for i := range sparse.positions {
+			if sparse.positions[i] != dense.positions[i] {
+				t.Fatalf("%+v: positions[%d] = %d sparse vs %d dense", tc, i, sparse.positions[i], dense.positions[i])
+			}
+		}
+		for i := range sparse.presence {
+			if sparse.presence[i] != dense.presence[i] {
+				t.Fatalf("%+v: presence word %d differs", tc, i)
+			}
+		}
+	}
+}
+
+func TestPresenceBitmapFiltersAbsentKmers(t *testing.T) {
+	ref := dna.MustParseSeq("ACGTACGTAA")
+	si, err := BuildSegmentIndex(ref, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, _ := dna.NewKmerCodec(4)
+	for km := dna.Kmer(0); int(km) < codec.NumKmers(); km++ {
+		hits := si.Lookup(km)
+		present := si.presence[km>>6]&(1<<(km&63)) != 0
+		if present != (len(hits) > 0) {
+			t.Fatalf("kmer %d: presence bit %v but %d hits", km, present, len(hits))
+		}
+		if len(hits) != len(si.lookupDense(km)) {
+			t.Fatalf("kmer %d: Lookup and lookupDense disagree", km)
+		}
+	}
+}
+
+// TestParallelBuildDeterministic pins the worker-pool assembly: any worker
+// count — including more workers than segments — must produce an index
+// whose logical content hashes identically to the serial build.
+func TestParallelBuildDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	ref := randSeq(r, 9000)
+	want, err := BuildSegmentedIndexWith(ref, 1000, 150, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := want.Hash()
+	for _, workers := range []int{0, 2, 3, 4, 16} {
+		got, err := BuildSegmentedIndexWith(ref, 1000, 150, 6, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.NumSegments() != want.NumSegments() {
+			t.Fatalf("workers=%d: %d segments, want %d", workers, got.NumSegments(), want.NumSegments())
+		}
+		if h := got.Hash(); h != wantHash {
+			t.Errorf("workers=%d: hash %016x, serial build %016x", workers, h, wantHash)
+		}
+		for id, si := range got.Samples {
+			if si.ID != id || si.Offset != want.Samples[id].Offset {
+				t.Fatalf("workers=%d: segment %d assembled out of order", workers, id)
+			}
+		}
+	}
+	// Errors must propagate from the pool (oversized k fails in-segment).
+	if _, err := BuildSegmentedIndexWith(ref, 1000, 150, 99, 4); err == nil {
+		t.Error("parallel build accepted oversized k")
+	}
+}
+
+// TestLookupBorrowContract is the aliasing audit: Lookup/LookupAt hand out
+// views of the shared position table, so a full seeding workload — which
+// drives every CAM intersection strategy over those views — must leave the
+// table byte-identical. A caller mutating through a borrowed slice would
+// trip this.
+func TestLookupBorrowContract(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	ref := make(dna.Seq, 20000) // low-entropy: huge shared hit lists
+	for i := range ref {
+		if r.Intn(4) == 0 {
+			ref[i] = dna.Base(r.Intn(4))
+		}
+	}
+	si, err := BuildSegmentIndex(ref, 0, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]int32(nil), si.positions...)
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{MinSeedLen: 10, CAMSize: 8, SMEMFilter: true, BinaryExtension: true, Probing: true, ExactFastPath: true},
+		{MinSeedLen: 10, CAMSize: 512, SMEMFilter: true, BinaryExtension: true, BinarySearch: false},
+		{MinSeedLen: 10, CAMSize: 512, SMEMFilter: false},
+		{MinSeedLen: 10, CAMSize: 512, SMEMFilter: true, Scan: ScanPerProbe},
+	} {
+		sd := NewSeeder(si, opts)
+		for trial := 0; trial < 25; trial++ {
+			start := r.Intn(len(ref) - 101)
+			sd.Seed(mutate(r, ref[start:start+101].Clone(), r.Intn(3)))
+		}
+	}
+	for i, p := range si.positions {
+		if p != snapshot[i] {
+			t.Fatalf("position table mutated through a borrowed Lookup slice at %d: %d -> %d", i, snapshot[i], p)
+		}
+	}
+}
+
+func TestNewSegmentIndexFromRunsRejectsCorrupt(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	ref := randSeq(r, 500)
+	si, err := BuildSegmentIndex(ref, 0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmers, counts := si.AppendRuns(nil, nil)
+	positions := append([]int32(nil), si.PositionTable()...)
+	// The pristine runs must round-trip.
+	rt, err := NewSegmentIndexFromRuns(ref, 0, 0, 5, kmers, counts, append([]int32(nil), positions...))
+	if err != nil {
+		t.Fatalf("valid runs rejected: %v", err)
+	}
+	codec, _ := dna.NewKmerCodec(5)
+	for km := dna.Kmer(0); int(km) < codec.NumKmers(); km++ {
+		a, b := si.Lookup(km), rt.Lookup(km)
+		if len(a) != len(b) {
+			t.Fatalf("kmer %d: %d hits vs %d after round trip", km, len(a), len(b))
+		}
+	}
+	type tweak struct {
+		name string
+		f    func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32)
+	}
+	for _, tw := range []tweak{
+		{"kmers/counts length mismatch", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) { return k[:len(k)-1], c, p }},
+		{"non-ascending kmers", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) {
+			k2 := append([]dna.Kmer(nil), k...)
+			k2[1] = k2[0]
+			return k2, c, p
+		}},
+		{"zero count", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) {
+			c2 := append([]int32(nil), c...)
+			c2[0] = 0
+			return k, c2, p
+		}},
+		{"count overflow", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) {
+			c2 := append([]int32(nil), c...)
+			c2[len(c2)-1] += 5
+			return k, c2, p
+		}},
+		{"out-of-range kmer", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) {
+			k2 := append([]dna.Kmer(nil), k...)
+			k2[len(k2)-1] = dna.Kmer(1) << 10 // 4^5 = 1024
+			return k2, c, p
+		}},
+		{"out-of-range position", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) {
+			p2 := append([]int32(nil), p...)
+			p2[0] = int32(len(ref))
+			return k, c, p2
+		}},
+		{"position table too short", func(k []dna.Kmer, c, p []int32) ([]dna.Kmer, []int32, []int32) { return k, c, p[:len(p)-1] }},
+	} {
+		k2, c2, p2 := tw.f(kmers, counts, positions)
+		if _, err := NewSegmentIndexFromRuns(ref, 0, 0, 5, k2, c2, p2); err == nil {
+			t.Errorf("%s: accepted", tw.name)
+		}
+	}
+	if _, err := NewSegmentIndexFromRuns(ref, 0, 0, 0, nil, nil, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -2,6 +2,23 @@ package seed
 
 import "genax/internal/dna"
 
+// ScanMode selects how a lane turns read windows into k-mers.
+type ScanMode string
+
+const (
+	// ScanRolling encodes the whole read once via KmerCodec.AppendScan and
+	// memoizes the per-position k-mers, so RMEM restarts, probe re-reads,
+	// and refine re-probes all hit the memo instead of re-running the O(k)
+	// Encode loop. Lookups also take the presence-bitmap pre-filter. This
+	// is the default.
+	ScanRolling ScanMode = "rolling"
+	// ScanPerProbe re-encodes every probed window from scratch and goes
+	// straight to the dense start table — the pre-overhaul seed path, kept
+	// as the honest baseline for genax-bench -compare-seed. Results and
+	// Stats are identical to ScanRolling; only the work per probe differs.
+	ScanPerProbe ScanMode = "perprobe"
+)
+
 // Options select the seeding optimizations of §V so each can be ablated
 // for the Fig 16 experiments.
 type Options struct {
@@ -28,6 +45,8 @@ type Options struct {
 	ExactFastPath bool
 	// MaxHits, when positive, caps the hits reported per seed.
 	MaxHits int
+	// Scan selects the window-encoding strategy; empty means ScanRolling.
+	Scan ScanMode
 }
 
 // DefaultOptions returns the full GenAx configuration.
@@ -79,18 +98,25 @@ type Seeder struct {
 	// Stats accumulates across Seed calls; reset it directly.
 	Stats Stats
 
+	// perProbe caches opts.Scan == ScanPerProbe for the hot path.
+	perProbe bool
+
 	// Lane-owned scratch. curBuf double-buffers the candidate sets flowing
 	// through intersect: writes always go to the buffer live does NOT name,
 	// and adopt flips live when the caller keeps a result, so an input set
 	// is never overwritten while still being read. inBuf holds the
 	// delta-normalized incoming hits of one intersect call; seedBuf backs
-	// the returned seeds (and recycles their Positions buffers slot by
-	// slot); winBuf backs the exact-match window list.
+	// the returned seeds; winBuf backs the exact-match window list; scan
+	// memoizes the read's per-position k-mers for the current Seed call;
+	// arena is the flat hit-list buffer every emitted Positions slice is
+	// carved from (see emit for its lifetime rules).
 	inBuf   []int32
 	curBuf  [2][]int32
 	live    int
 	seedBuf []Seed
 	winBuf  []segWin
+	scan    []dna.Kmer
+	arena   []int32
 }
 
 // NewSeeder builds a lane over si.
@@ -101,7 +127,10 @@ func NewSeeder(si *SegmentIndex, opts Options) *Seeder {
 	if opts.CAMSize < 1 {
 		opts.CAMSize = 512
 	}
-	return &Seeder{si: si, cam: NewCAM(opts.CAMSize), opts: opts}
+	if opts.Scan == "" {
+		opts.Scan = ScanRolling
+	}
+	return &Seeder{si: si, cam: NewCAM(opts.CAMSize), opts: opts, perProbe: opts.Scan == ScanPerProbe}
 }
 
 // Reset rebinds the lane to another segment's tables in place, mirroring
@@ -122,15 +151,45 @@ func (sd *Seeder) Options() Options { return sd.opts }
 func (sd *Seeder) adopt() { sd.live ^= 1 }
 
 // lookup charges an index-table access and returns the (sorted, local)
-// hits of the window at read position q.
+// hits of the window at read position q. In ScanRolling mode the k-mer
+// comes from the per-read memo and the probe takes the presence-bitmap
+// pre-filter; in ScanPerProbe mode it is re-encoded and goes straight to
+// the dense table. Both modes charge IndexLookups identically — the model
+// counts one table access per in-bounds window either way.
 //
 //genax:hotpath
 func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
-	hits, ok := sd.si.LookupAt(read, q)
-	if ok {
+	if sd.perProbe {
+		km, ok := sd.si.codec.Encode(read, q)
+		if !ok {
+			return nil, false
+		}
 		sd.Stats.IndexLookups++
+		return sd.si.lookupDense(km), true
 	}
-	return hits, ok
+	if q < 0 || q >= len(sd.scan) {
+		return nil, false
+	}
+	sd.Stats.IndexLookups++
+	return sd.si.Lookup(sd.scan[q]), true
+}
+
+// hitsAt is lookup without the IndexLookups charge, for re-reading a window
+// that was already charged (rmem's probe winner).
+//
+//genax:hotpath
+func (sd *Seeder) hitsAt(read dna.Seq, q int) []int32 {
+	if sd.perProbe {
+		km, ok := sd.si.codec.Encode(read, q)
+		if !ok {
+			return nil
+		}
+		return sd.si.lookupDense(km)
+	}
+	if q < 0 || q >= len(sd.scan) {
+		return nil
+	}
+	return sd.si.Lookup(sd.scan[q])
 }
 
 // intersect intersects the sorted candidate set cur (pivot-normalized)
@@ -229,7 +288,7 @@ func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 			}
 		}
 		if bestQ > 0 {
-			h, _ := sd.si.LookupAt(read, bestQ) // already charged above
+			h := sd.hitsAt(read, bestQ) // already charged above
 			next := sd.intersect(cur, h, int32(bestQ-p))
 			if len(next) == 0 {
 				// The probed window mismatched; fall back to refining
@@ -290,15 +349,23 @@ func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) 
 // Seed reports the seeds of a read against this lane's segment, in read
 // order, with positions translated to global coordinates. The returned
 // slice and the Positions slices inside it are backed by lane-owned
-// scratch: they are valid only until the next Seed call on this Seeder.
+// scratch (the hit-list arena): they are valid only until the next Seed
+// call on this Seeder.
 //
 //genax:hotpath
 func (sd *Seeder) Seed(read dna.Seq) []Seed {
 	sd.Stats.Reads++
+	sd.arena = sd.arena[:0]
 	k := sd.si.K()
 	m := len(read)
 	if m < k {
 		return nil
+	}
+	if !sd.perProbe {
+		// Encode every window of the read once; all probes below hit this
+		// memo, including RMEM restarts and refine re-probes of the same
+		// position.
+		sd.scan = sd.si.codec.AppendScan(sd.scan[:0], read)
 	}
 	if !sd.opts.SMEMFilter {
 		return sd.naiveSeeds(read)
@@ -335,22 +402,27 @@ func (sd *Seeder) Seed(read dna.Seq) []Seed {
 }
 
 // emit appends a Seed for the pivot-normalized local candidates to out,
-// translating to global coordinates and charging the hit counters. When out
-// has spare capacity the Positions buffer of the Seed previously stored in
-// the next slot is recycled, so a warm lane emits without allocating.
+// translating to global coordinates and charging the hit counters. Every
+// Positions slice is carved out of the lane's flat arena: one append run,
+// then a full-capacity reslice so later emits cannot grow into it. The
+// arena resets at each Seed call, so a warm lane emits without allocating;
+// if an append does grow the arena mid-read, earlier seeds keep aliasing
+// the old backing array — still correct, since emitted positions are never
+// rewritten, and the grown arena makes the next read allocation-free.
 //
 //genax:hotpath
 func (sd *Seeder) emit(out []Seed, start, end int, cur []int32) []Seed {
-	var positions []int32
-	if n := len(out); n < cap(out) {
-		positions = out[: n+1 : n+1][n].Positions[:0]
-	}
+	a := sd.arena
+	base := len(a)
+	off := int32(sd.si.Offset)
 	for _, c := range cur {
-		positions = append(positions, c+int32(sd.si.Offset))
-		if sd.opts.MaxHits > 0 && len(positions) >= sd.opts.MaxHits {
+		a = append(a, c+off)
+		if sd.opts.MaxHits > 0 && len(a)-base >= sd.opts.MaxHits {
 			break
 		}
 	}
+	sd.arena = a
+	positions := a[base:len(a):len(a)]
 	sd.Stats.SeedsEmitted++
 	sd.Stats.HitsEmitted += len(positions)
 	return append(out, Seed{Start: start, End: end, Positions: positions})

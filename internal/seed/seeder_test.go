@@ -323,3 +323,116 @@ func TestSeederSteadyStateAllocs(t *testing.T) {
 		t.Errorf("warm Seeder.Seed allocates %.2f times per sweep, want 0", avg)
 	}
 }
+
+// TestScanModesProduceIdenticalResultsAndStats pins the -compare-seed
+// equivalence at the lane level: the rolling memoized scan and the
+// per-probe re-encoding baseline must report the same seeds, the same hit
+// sets, and the same work counters for every read.
+func TestScanModesProduceIdenticalResultsAndStats(t *testing.T) {
+	r := rand.New(rand.NewSource(119))
+	ref := randSeq(r, 12000)
+	for _, opts := range []Options{
+		DefaultOptions(),
+		{MinSeedLen: 10, CAMSize: 64, SMEMFilter: true, BinaryExtension: true, Probing: true, ExactFastPath: true, BinarySearch: true},
+		{MinSeedLen: 10, CAMSize: 512, SMEMFilter: false},
+	} {
+		si, err := BuildSegmentIndex(ref, 0, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rollOpts, probeOpts := opts, opts
+		rollOpts.Scan = ScanRolling
+		probeOpts.Scan = ScanPerProbe
+		roll := NewSeeder(si, rollOpts)
+		probe := NewSeeder(si, probeOpts)
+		for trial := 0; trial < 40; trial++ {
+			start := r.Intn(len(ref) - 120)
+			read := mutate(r, ref[start:start+101].Clone(), r.Intn(5))
+			a := roll.Seed(read)
+			b := probe.Seed(read)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: %d seeds rolling vs %d perprobe", trial, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Start != b[i].Start || a[i].End != b[i].End {
+					t.Fatalf("trial %d seed %d: span [%d,%d) vs [%d,%d)", trial, i, a[i].Start, a[i].End, b[i].Start, b[i].End)
+				}
+				if len(a[i].Positions) != len(b[i].Positions) {
+					t.Fatalf("trial %d seed %d: %d hits vs %d", trial, i, len(a[i].Positions), len(b[i].Positions))
+				}
+				for j := range a[i].Positions {
+					if a[i].Positions[j] != b[i].Positions[j] {
+						t.Fatalf("trial %d seed %d hit %d: %d vs %d", trial, i, j, a[i].Positions[j], b[i].Positions[j])
+					}
+				}
+			}
+		}
+		if roll.Stats != probe.Stats {
+			t.Errorf("work counters diverged: rolling %+v vs perprobe %+v", roll.Stats, probe.Stats)
+		}
+	}
+}
+
+// TestArenaIsolationAcrossSegments is the arena-lifetime satellite: a lane
+// seeded against segment A, Reset to segment B, must emit hit lists drawn
+// only from B (no stale arena bytes from A can surface), byte-identical to
+// a lane that never saw A — and the warm rebound lane must stay at zero
+// steady-state allocations.
+func TestArenaIsolationAcrossSegments(t *testing.T) {
+	r := rand.New(rand.NewSource(120))
+	ref := randSeq(r, 6000)
+	sx, err := BuildSegmentedIndex(ref, 1500, 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segA, segB := sx.Samples[0], sx.Samples[2]
+	lane := NewSeeder(segA, DefaultOptions())
+	// Fill the arena with segment-A hit lists (reads drawn from A align).
+	for trial := 0; trial < 10; trial++ {
+		start := r.Intn(1200)
+		lane.Seed(ref[start : start+101].Clone())
+	}
+	lane.Reset(segB)
+	for trial := 0; trial < 20; trial++ {
+		start := segB.Offset + r.Intn(1200)
+		read := mutate(r, ref[start:start+101].Clone(), r.Intn(3))
+		got := lane.Seed(read)
+		fresh := NewSeeder(segB, DefaultOptions()).Seed(read)
+		if len(got) != len(fresh) {
+			t.Fatalf("trial %d: %d seeds vs fresh %d", trial, len(got), len(fresh))
+		}
+		lo, hi := int32(segB.Offset), int32(segB.Offset+len(segB.Ref))
+		for i := range got {
+			if len(got[i].Positions) != len(fresh[i].Positions) {
+				t.Fatalf("trial %d seed %d: %d hits vs fresh %d", trial, i, len(got[i].Positions), len(fresh[i].Positions))
+			}
+			for j, p := range got[i].Positions {
+				if p != fresh[i].Positions[j] {
+					t.Fatalf("trial %d seed %d hit %d: %d vs fresh %d (stale arena bytes?)", trial, i, j, p, fresh[i].Positions[j])
+				}
+				if p < lo || p >= hi {
+					t.Fatalf("trial %d seed %d: position %d outside segment B [%d,%d)", trial, i, p, lo, hi)
+				}
+			}
+		}
+	}
+	// Warm rebound lane: alternating segments must not allocate.
+	reads := make([]dna.Seq, 8)
+	for i := range reads {
+		start := r.Intn(len(ref) - 120)
+		reads[i] = mutate(r, ref[start:start+101].Clone(), r.Intn(3))
+	}
+	sweep := func() {
+		for _, si := range sx.Samples {
+			lane.Reset(si)
+			for _, rd := range reads {
+				lane.Seed(rd)
+			}
+		}
+	}
+	sweep() // grow scratch to the worst segment
+	sweep()
+	if avg := testing.AllocsPerRun(20, sweep); avg != 0 {
+		t.Errorf("warm rebound lane allocates %.2f times per sweep, want 0", avg)
+	}
+}
