@@ -11,10 +11,11 @@
 //	genax-bench all       everything above
 //
 // Flags: -quick shrinks the workload; -genome/-coverage/-seed resize it;
-// -engine selects the extension engine (bitsilla, sillax, banded);
-// -compare-engines runs the workload through every engine, prints wall
-// clock, extend-stage busy time, allocations and result-hash equality, and
-// writes the measurements to BENCH_extend.json; -cpuprofile/-memprofile
+// -engine selects the extension engine (bitsilla, sillax, banded, genasm,
+// cascade); -compare-engines runs the workload through every engine,
+// prints wall clock, extend-stage busy time, allocations, result-hash
+// equality and the cascade's per-leg routing histogram, and writes the
+// measurements to BENCH_extend.json; -cpuprofile/-memprofile
 // write pprof profiles of the selected experiment (see EXPERIMENTS.md for
 // the profiling workflow); -allocbudget N measures steady-state AlignBatch
 // heap allocations per read after the experiment and exits non-zero when
@@ -46,7 +47,7 @@ func run() int {
 	genome := flag.Int("genome", 0, "override synthetic genome length (bases)")
 	coverage := flag.Float64("coverage", 0, "override read coverage")
 	seed := flag.Int64("seed", 0, "override workload RNG seed")
-	engine := flag.String("engine", "", "extension engine: bitsilla (default), sillax, or banded")
+	engine := flag.String("engine", "", "extension engine: bitsilla (default), sillax, banded, genasm, or cascade")
 	compareEngines := flag.Bool("compare-engines", false,
 		"run the workload through every extension engine, print the comparison, and write BENCH_extend.json")
 	compareSeed := flag.Bool("compare-seed", false,
@@ -158,8 +159,9 @@ func run() int {
 }
 
 // runCompareEngines measures every extension engine on the workload,
-// prints the comparison, writes BENCH_extend.json, and fails when the
-// bit-parallel engine's results diverge from the cycle-level oracle.
+// prints the comparison, writes BENCH_extend.json, and fails when any
+// identity-claiming engine (bitsilla, genasm, cascade) diverges from the
+// cycle-level oracle.
 func runCompareEngines(spec bench.WorkloadSpec) int {
 	cmp, err := bench.CompareEngines(spec)
 	if err != nil {

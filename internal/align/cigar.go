@@ -164,6 +164,17 @@ func (c Cigar) Score(s Scoring) int {
 	return score
 }
 
+// Clone returns a copy of the cigar sharing no storage with c; engines
+// that build results in reusable scratch clone them before returning.
+func (c Cigar) Clone() Cigar {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(Cigar, len(c))
+	copy(out, c)
+	return out
+}
+
 // Reverse returns the run-reversed cigar (used when stitching a left
 // extension computed on reversed strings onto a right extension).
 func (c Cigar) Reverse() Cigar {

@@ -10,13 +10,24 @@ import (
 
 	"genax/internal/core"
 	"genax/internal/dna"
+	"genax/internal/extend"
 )
+
+// RoutingRow is one cascade leg's traffic in an EngineRun.
+type RoutingRow struct {
+	Leg         string `json:"leg"`
+	Routed      int64  `json:"routed"`
+	Accepted    int64  `json:"accepted"`
+	FellThrough int64  `json:"fell_through"`
+}
 
 // EngineRun is one extension engine's measurement over the workload: a
 // warmed AlignBatch timed wall-clock, the extend stage's busy time from
 // the injected instrument, steady-state allocations per read, and an
 // FNV-1a digest of every read's (aligned, position, score, strand, cigar)
-// tuple so result equality across engines is a single comparison.
+// tuple so result equality across engines is a single comparison. For the
+// cascading engines Routing records the per-leg histogram of the timed
+// batch.
 type EngineRun struct {
 	Engine        string        `json:"engine"`
 	Wall          time.Duration `json:"wall_ns"`
@@ -25,32 +36,51 @@ type EngineRun struct {
 	Aligned       int           `json:"aligned"`
 	ResultHash    uint64        `json:"result_hash"`
 	// MatchesOracle reports hash equality with the cycle-level run.
-	MatchesOracle bool `json:"matches_oracle"`
+	MatchesOracle bool         `json:"matches_oracle"`
+	Routing       []RoutingRow `json:"routing,omitempty"`
 }
 
 // EngineComparison is the -compare-engines report: the same workload
 // through every engine, with speedups quoted against the cycle-level
-// oracle. The bit-parallel engine must hash identically to the oracle;
-// the banded software baseline is included for scale but has different
-// alignment semantics, so its hash legitimately differs.
+// oracle and the cascade quoted against the production bitsilla default.
+// bitsilla, genasm and cascade all claim byte-identity with the oracle and
+// the run fails on any divergence; the banded software baseline is
+// included for scale but has different alignment semantics, so its hash
+// legitimately differs.
 type EngineComparison struct {
-	Reads          int         `json:"reads"`
-	Runs           []EngineRun `json:"runs"`
-	ExtendSpeedup  float64     `json:"extend_speedup_bitsilla_vs_sillax"`
-	EndToEndGain   float64     `json:"end_to_end_speedup_bitsilla_vs_sillax"`
-	OracleMatch    bool        `json:"bitsilla_matches_oracle"`
-	OracleMismatch string      `json:"mismatch,omitempty"`
+	Reads         int         `json:"reads"`
+	Runs          []EngineRun `json:"runs"`
+	ExtendSpeedup float64     `json:"extend_speedup_bitsilla_vs_sillax"`
+	EndToEndGain  float64     `json:"end_to_end_speedup_bitsilla_vs_sillax"`
+	// CascadeExtendSpeedup and CascadeEndToEndGain quote the adaptive
+	// cascade against pure bitsilla — the headline number of the engine
+	// cascade: identical output, cheaper extend stage.
+	CascadeExtendSpeedup float64 `json:"extend_speedup_cascade_vs_bitsilla"`
+	CascadeEndToEndGain  float64 `json:"end_to_end_speedup_cascade_vs_bitsilla"`
+	// OracleMatch reports that every identity-claiming engine (bitsilla,
+	// genasm, cascade) hashed identically to the cycle-level oracle.
+	OracleMatch    bool   `json:"identity_engines_match_oracle"`
+	OracleMismatch string `json:"mismatch,omitempty"`
 }
 
 // compareOrder fixes the measurement sequence (oracle first so later runs
 // can be checked against it).
-var compareOrder = []core.Engine{core.EngineSillaX, core.EngineBitSilla, core.EngineBanded}
+var compareOrder = []core.Engine{
+	core.EngineSillaX,
+	core.EngineBitSilla,
+	core.EngineGenasm,
+	core.EngineCascade,
+	core.EngineBanded,
+}
+
+// identityEngines are the runs whose result hash must equal the oracle's.
+var identityEngines = []core.Engine{core.EngineBitSilla, core.EngineGenasm, core.EngineCascade}
 
 // CompareEngines runs the workload through each extension engine and
 // reports wall clock, extend-stage busy time, allocation behaviour and
-// result digests. This is the acceptance harness for the bit-parallel
-// engine: same results as the cycle model, at a fraction of the extend
-// time.
+// result digests. This is the acceptance harness for the bit-vector
+// engines and the cascade: same results as the cycle model, at a fraction
+// of the extend time.
 func CompareEngines(spec WorkloadSpec) (EngineComparison, error) {
 	wl := spec.Build()
 	reads := ReadSeqs(wl)
@@ -65,21 +95,49 @@ func CompareEngines(spec WorkloadSpec) (EngineComparison, error) {
 		}
 		out.Runs = append(out.Runs, run)
 	}
-	oracle, bit := out.Runs[0], out.Runs[1]
+	oracle := out.Runs[0]
 	for i := range out.Runs {
 		out.Runs[i].MatchesOracle = out.Runs[i].ResultHash == oracle.ResultHash
 	}
-	out.OracleMatch = bit.ResultHash == oracle.ResultHash
-	if !out.OracleMatch {
-		out.OracleMismatch = fmt.Sprintf("bitsilla hash %016x != sillax hash %016x", bit.ResultHash, oracle.ResultHash)
+	out.OracleMatch = true
+	var mismatches []string
+	for _, eng := range identityEngines {
+		r := out.findRun(string(eng))
+		if r == nil || r.ResultHash != oracle.ResultHash {
+			out.OracleMatch = false
+			hash := uint64(0)
+			if r != nil {
+				hash = r.ResultHash
+			}
+			mismatches = append(mismatches, fmt.Sprintf("%s hash %016x != sillax hash %016x", eng, hash, oracle.ResultHash))
+		}
 	}
-	if bit.ExtendBusy > 0 {
+	out.OracleMismatch = strings.Join(mismatches, "; ")
+	bit := out.findRun(string(core.EngineBitSilla))
+	cas := out.findRun(string(core.EngineCascade))
+	if bit != nil && bit.ExtendBusy > 0 {
 		out.ExtendSpeedup = float64(oracle.ExtendBusy) / float64(bit.ExtendBusy)
 	}
-	if bit.Wall > 0 {
+	if bit != nil && bit.Wall > 0 {
 		out.EndToEndGain = float64(oracle.Wall) / float64(bit.Wall)
 	}
+	if bit != nil && cas != nil && cas.ExtendBusy > 0 {
+		out.CascadeExtendSpeedup = float64(bit.ExtendBusy) / float64(cas.ExtendBusy)
+	}
+	if bit != nil && cas != nil && cas.Wall > 0 {
+		out.CascadeEndToEndGain = float64(bit.Wall) / float64(cas.Wall)
+	}
 	return out, nil
+}
+
+// findRun returns the named run, or nil.
+func (c *EngineComparison) findRun(engine string) *EngineRun {
+	for i := range c.Runs {
+		if c.Runs[i].Engine == engine {
+			return &c.Runs[i]
+		}
+	}
+	return nil
 }
 
 // measureEngine builds an instrumented aligner for one engine, warms the
@@ -104,7 +162,7 @@ func measureEngine(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, eng core.Eng
 	runtime.ReadMemStats(&before)
 	busy0 := inst.Extend.BusyNanos.Load()
 	start := time.Now()
-	results, _ := aligner.AlignBatch(reads)
+	results, stats := aligner.AlignBatch(reads)
 	wall := time.Since(start)
 	busy := inst.Extend.BusyNanos.Load() - busy0
 	runtime.ReadMemStats(&after)
@@ -117,7 +175,27 @@ func measureEngine(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, eng core.Eng
 		AllocsPerRead: float64(after.Mallocs-before.Mallocs) / float64(len(reads)),
 		Aligned:       aligned,
 		ResultHash:    hash,
+		Routing:       routingRows(stats.Routing),
 	}, nil
+}
+
+// routingRows flattens a nonzero routing histogram into report rows in
+// fixed leg order; an all-zero histogram (non-cascading engine) yields nil.
+func routingRows(r extend.Routing) []RoutingRow {
+	if r == (extend.Routing{}) {
+		return nil
+	}
+	rows := make([]RoutingRow, 0, int(extend.NumLegs))
+	for l := extend.Leg(0); l < extend.NumLegs; l++ {
+		s := r.Legs[l]
+		rows = append(rows, RoutingRow{
+			Leg:         l.String(),
+			Routed:      s.Routed,
+			Accepted:    s.Accepted,
+			FellThrough: s.FellThrough,
+		})
+	}
+	return rows
 }
 
 // digestResults folds every read's (aligned, position, score, strand,
@@ -157,10 +235,21 @@ func (c EngineComparison) String() string {
 			r.Engine, r.Wall.Round(time.Microsecond), r.ExtendBusy.Round(time.Microsecond),
 			r.AllocsPerRead, r.Aligned, r.ResultHash, r.MatchesOracle)
 	}
+	for _, r := range c.Runs {
+		if len(r.Routing) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s routing (extensions routed/accepted/fell-through per leg):\n", r.Engine)
+		for _, row := range r.Routing {
+			fmt.Fprintf(&b, "  %-10s %10d %10d %10d\n", row.Leg, row.Routed, row.Accepted, row.FellThrough)
+		}
+	}
 	fmt.Fprintf(&b, "bitsilla vs sillax: extend stage %.2fx, end to end %.2fx\n",
 		c.ExtendSpeedup, c.EndToEndGain)
+	fmt.Fprintf(&b, "cascade vs bitsilla: extend stage %.2fx, end to end %.2fx\n",
+		c.CascadeExtendSpeedup, c.CascadeEndToEndGain)
 	if c.OracleMatch {
-		b.WriteString("bitsilla results are byte-identical to the cycle-level oracle")
+		b.WriteString("bitsilla, genasm and cascade results are byte-identical to the cycle-level oracle")
 	} else {
 		b.WriteString("MISMATCH: " + c.OracleMismatch)
 	}

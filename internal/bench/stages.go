@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"genax/internal/core"
+	"genax/internal/extend"
 )
 
 // StageRow is one pipeline stage's share of a StageBreakdown.
@@ -31,6 +32,9 @@ type StageBreakdown struct {
 	// from the on-disk cache instead of built.
 	IndexBuild    time.Duration
 	IndexSegments int64
+	// Routing is the cascade's per-leg extension histogram; all-zero for
+	// engines that do not cascade, and then omitted from the report.
+	Routing extend.Routing
 }
 
 func (b StageBreakdown) String() string {
@@ -47,6 +51,15 @@ func (b StageBreakdown) String() string {
 	for _, r := range b.Stages {
 		fmt.Fprintf(&sb, "%-8s %12v %5.1f%% %9d %9d %9.2f %6d\n",
 			r.Name, r.Busy.Round(time.Microsecond), 100*r.BusyShare, r.Batches, r.Items, r.AvgQueue, r.MaxQueue)
+	}
+	if b.Routing.Total() > 0 {
+		fmt.Fprintf(&sb, "engine cascade routing (%d extensions, %d certified by a cheap leg):\n",
+			b.Routing.Total(), b.Routing.Certified())
+		fmt.Fprintf(&sb, "%-10s %10s %10s %10s\n", "leg", "routed", "accepted", "fellthru")
+		for l := extend.Leg(0); l < extend.NumLegs; l++ {
+			s := b.Routing.Legs[l]
+			fmt.Fprintf(&sb, "%-10s %10d %10d %10d\n", l, s.Routed, s.Accepted, s.FellThrough)
+		}
 	}
 	sb.WriteString("queue depths are sampled at each send into the downstream stage")
 	return sb.String()
@@ -69,7 +82,8 @@ func Stages(spec WorkloadSpec) (StageBreakdown, error) {
 		return StageBreakdown{}, err
 	}
 	start := time.Now()
-	if res, _ := aligner.AlignBatch(reads); len(res) != len(reads) {
+	res, stats := aligner.AlignBatch(reads)
+	if len(res) != len(reads) {
 		return StageBreakdown{}, fmt.Errorf("bench: AlignBatch dropped reads")
 	}
 	out := StageBreakdown{
@@ -77,6 +91,7 @@ func Stages(spec WorkloadSpec) (StageBreakdown, error) {
 		Total:         time.Since(start),
 		IndexBuild:    time.Duration(inst.IndexBuild.BusyNanos.Load()),
 		IndexSegments: inst.IndexBuild.Items.Load(),
+		Routing:       stats.Routing,
 	}
 	rows := []struct {
 		name string

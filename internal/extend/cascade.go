@@ -1,0 +1,193 @@
+package extend
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/genasm"
+)
+
+// Leg names one rung of the adaptive engine cascade, cheapest first.
+type Leg int
+
+const (
+	// LegExact is the zero-edit filter: a straight byte comparison of the
+	// query against the anchored reference window.
+	LegExact Leg = iota
+	// LegGenasm is the certified GenASM bit-vector fast path.
+	LegGenasm
+	// LegBitsilla is the production bit-parallel Silla engine — the
+	// cascade's floor, which handles everything the cheaper legs refuse.
+	LegBitsilla
+	// NumLegs is the number of cascade legs.
+	NumLegs
+)
+
+// String returns the leg's engine name.
+func (l Leg) String() string {
+	switch l {
+	case LegExact:
+		return "exact"
+	case LegGenasm:
+		return "genasm"
+	case LegBitsilla:
+		return "bitsilla"
+	}
+	return "unknown"
+}
+
+// LegStats counts one leg's traffic: extensions offered to the leg,
+// extensions it certified and answered, and extensions it passed down.
+type LegStats struct {
+	Routed, Accepted, FellThrough int64
+}
+
+// Routing is the cascade's per-leg histogram. The unit is one engine
+// Extend call (a stitched candidate contributes up to two: left and right
+// extension). Counters are plain sums, so merging lane-local histograms
+// is associative and commutative — deterministic under any partitioning,
+// like the rest of the stage stats.
+type Routing struct {
+	Legs [NumLegs]LegStats
+}
+
+// Merge accumulates o into r element-wise.
+func (r *Routing) Merge(o Routing) {
+	for i := range r.Legs {
+		r.Legs[i].Routed += o.Legs[i].Routed
+		r.Legs[i].Accepted += o.Legs[i].Accepted
+		r.Legs[i].FellThrough += o.Legs[i].FellThrough
+	}
+}
+
+// Total returns the number of extensions that entered the cascade.
+func (r *Routing) Total() int64 { return r.Legs[LegExact].Routed }
+
+// Certified returns how many extensions a leg cheaper than the bitsilla
+// floor answered.
+func (r *Routing) Certified() int64 {
+	return r.Legs[LegExact].Accepted + r.Legs[LegGenasm].Accepted
+}
+
+//genax:hotpath
+func (r *Routing) route(l Leg) {
+	if r != nil {
+		r.Legs[l].Routed++
+	}
+}
+
+//genax:hotpath
+func (r *Routing) accept(l Leg) {
+	if r != nil {
+		r.Legs[l].Accepted++
+	}
+}
+
+//genax:hotpath
+func (r *Routing) fall(l Leg) {
+	if r != nil {
+		r.Legs[l].FellThrough++
+	}
+}
+
+// GenasmEngine adapts the GenASM bit-vector machine: certified fast-path
+// results where the certification rule applies, embedded bitsilla
+// fallback otherwise — byte-identical to the cycle-level oracle either
+// way. R, when non-nil, receives the genasm/bitsilla routing split.
+type GenasmEngine struct {
+	M *genasm.Machine
+	R *Routing
+}
+
+// Extend implements Engine.
+//
+//genax:hotpath
+func (e GenasmEngine) Extend(ref, query dna.Seq) Extension {
+	res := e.M.Extend(ref, query)
+	e.R.route(LegGenasm)
+	if res.Certified {
+		e.R.accept(LegGenasm)
+	} else {
+		e.R.fall(LegGenasm)
+		e.R.route(LegBitsilla)
+		e.R.accept(LegBitsilla)
+	}
+	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar, Cycles: res.Cycles}
+}
+
+// Cascade is the adaptive engine cascade of the extend stage: every
+// extension is routed cheapest-first — exact byte comparison, then the
+// certified GenASM fast path, then the bitsilla floor — and a cheaper
+// leg's answer is used only when it is provably byte-identical to what
+// bitsilla would return, so the cascade as a whole is byte-identical to
+// the production default at a fraction of its busy time on easy reads.
+// Not safe for concurrent use; allocate one per lane.
+type Cascade struct {
+	match int
+	g     GenasmEngine
+}
+
+// NewCascade builds a cascade with edit bound k. r, when non-nil,
+// receives the per-leg routing histogram.
+func NewCascade(k int, sc align.Scoring, r *Routing) *Cascade {
+	if k < 0 {
+		panic("extend: negative edit bound")
+	}
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cascade{match: sc.Match, g: GenasmEngine{M: genasm.New(k, sc), R: r}}
+}
+
+// Routing returns the histogram sink (nil when none was attached).
+func (c *Cascade) Routing() *Routing { return c.g.R }
+
+// Extend implements Engine.
+//
+//genax:hotpath
+func (c *Cascade) Extend(ref, query dna.Seq) Extension {
+	r := c.g.R
+	r.route(LegExact)
+	qn := len(query)
+	if qn == 0 {
+		// The empty query has exactly one extension under any scoring.
+		r.accept(LegExact)
+		return Extension{}
+	}
+	if c.match >= 1 && qn <= len(ref) && exactPrefix(ref, query) {
+		// Zero-edit certification: with Match >= 1 the full-query gapless
+		// alignment scores qn*Match and is the unique optimum — every
+		// other candidate drops at least one match or pays a gap penalty.
+		// (Match == 0 scorings make the empty clip tie it, so they never
+		// take this leg.)
+		r.accept(LegExact)
+		return exactExtension(qn, c.match)
+	}
+	r.fall(LegExact)
+	return c.g.Extend(ref, query)
+}
+
+// exactPrefix reports whether query matches ref position for position
+// (len(query) <= len(ref) already checked).
+//
+//genax:hotpath
+func exactPrefix(ref, query dna.Seq) bool {
+	for i, b := range query {
+		if ref[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// exactExtension materializes the single-run extension of an exact-match
+// leg hit — the one allocation that path makes, kept out of the annotated
+// Extend body.
+func exactExtension(n, match int) Extension {
+	return Extension{
+		Score:    n * match,
+		QueryLen: n,
+		RefLen:   n,
+		Cigar:    align.Cigar{{Op: align.OpMatch, Len: n}},
+		Cycles:   n,
+	}
+}

@@ -1,0 +1,218 @@
+package extend
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/bitsilla"
+	"genax/internal/dna"
+	"genax/internal/genasm"
+)
+
+// TestCascadeByteIdentityToBitsilla runs whole stitched alignments through
+// the cascade and the production bitsilla engine: position, score and
+// cigar must be byte-identical — the cascade's core guarantee.
+func TestCascadeByteIdentityToBitsilla(t *testing.T) {
+	r := rand.New(rand.NewSource(140))
+	sc := align.BWAMEMDefaults()
+	k := 24
+	ref := randSeq(r, 4000)
+	var routing Routing
+	cas := Stitcher{Eng: NewCascade(k, sc, &routing)}
+	bit := Stitcher{Eng: BitSillaEngine{M: bitsilla.New(k, sc)}}
+	for trial := 0; trial < 120; trial++ {
+		pos := r.Intn(3000)
+		readLen := 60 + r.Intn(80)
+		seedS := r.Intn(readLen - 20)
+		seedE := seedS + 20
+		read := plantRead(r, ref, pos, readLen, seedS, seedE, r.Intn(8))
+		got := cas.AlignAt(sc, ref, read, seedS, seedE, pos+seedS, k)
+		want := bit.AlignAt(sc, ref, read, seedS, seedE, pos+seedS, k)
+		if got.Score != want.Score || got.RefPos != want.RefPos ||
+			got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("trial %d: cascade %v vs bitsilla %v", trial, got, want)
+		}
+	}
+	if routing.Total() == 0 {
+		t.Fatal("cascade routed no extensions")
+	}
+	if routing.Certified() == 0 {
+		t.Fatal("no extension certified by a cheap leg; the cascade never pays off")
+	}
+}
+
+// TestCascadeRouting pins the per-leg accounting on hand-built inputs.
+func TestCascadeRouting(t *testing.T) {
+	r := rand.New(rand.NewSource(141))
+	sc := align.BWAMEMDefaults()
+	ref := randSeq(r, 200)
+	var routing Routing
+	cas := NewCascade(8, sc, &routing)
+
+	// Exact prefix: the first leg answers.
+	cas.Extend(ref, ref[:50].Clone())
+	want := Routing{}
+	want.Legs[LegExact] = LegStats{Routed: 1, Accepted: 1}
+	if routing != want {
+		t.Fatalf("exact: %+v, want %+v", routing, want)
+	}
+
+	// One interior substitution: falls to genasm, certifies there.
+	oneSub := ref[:50].Clone()
+	oneSub[25] = dna.Base((int(oneSub[25]) + 1) % 4)
+	cas.Extend(ref, oneSub)
+	want.Legs[LegExact].Routed++
+	want.Legs[LegExact].FellThrough++
+	want.Legs[LegGenasm] = LegStats{Routed: 1, Accepted: 1}
+	if routing != want {
+		t.Fatalf("one sub: %+v, want %+v", routing, want)
+	}
+
+	// A deletion: falls through both cheap legs to the bitsilla floor.
+	withDel := append(ref[:20].Clone(), ref[23:53]...)
+	cas.Extend(ref, withDel)
+	want.Legs[LegExact].Routed++
+	want.Legs[LegExact].FellThrough++
+	want.Legs[LegGenasm].Routed++
+	want.Legs[LegGenasm].FellThrough++
+	want.Legs[LegBitsilla] = LegStats{Routed: 1, Accepted: 1}
+	if routing != want {
+		t.Fatalf("deletion: %+v, want %+v", routing, want)
+	}
+
+	// Empty query: certified trivially by the exact leg.
+	cas.Extend(ref, nil)
+	want.Legs[LegExact].Routed++
+	want.Legs[LegExact].Accepted++
+	if routing != want {
+		t.Fatalf("empty query: %+v, want %+v", routing, want)
+	}
+
+	if routing.Total() != 4 || routing.Certified() != 3 {
+		t.Fatalf("Total=%d Certified=%d, want 4 and 3", routing.Total(), routing.Certified())
+	}
+}
+
+// TestCascadeCertificationEdges drives the cascade at the certification
+// boundaries (edit bound, zero-length, all-mismatch) and checks identity
+// with bitsilla plus the expected leg on each.
+func TestCascadeCertificationEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(142))
+	sc := align.BWAMEMDefaults()
+	ref := randSeq(r, 120)
+	for _, tc := range []struct {
+		name  string
+		k     int
+		query func() dna.Seq
+		leg   Leg
+	}{
+		{"exact", 8, func() dna.Seq { return ref[:60].Clone() }, LegExact},
+		{"zero length", 8, func() dna.Seq { return nil }, LegExact},
+		{"one sub at bound k=1", 1, func() dna.Seq {
+			q := ref[:60].Clone()
+			q[30] = dna.Base((int(q[30]) + 1) % 4)
+			return q
+		}, LegGenasm},
+		{"one sub over bound k=0", 0, func() dna.Seq {
+			q := ref[:60].Clone()
+			q[30] = dna.Base((int(q[30]) + 1) % 4)
+			return q
+		}, LegBitsilla},
+		{"all mismatch", 8, func() dna.Seq {
+			q := ref[:40].Clone()
+			for i := range q {
+				q[i] = dna.Base((int(q[i]) + 1) % 4)
+			}
+			return q
+		}, LegBitsilla},
+		{"query past ref end", 8, func() dna.Seq {
+			return append(ref[90:120].Clone(), randSeq(r, 20)...)
+		}, LegBitsilla},
+	} {
+		var routing Routing
+		cas := NewCascade(tc.k, sc, &routing)
+		query := tc.query()
+		got := cas.Extend(ref, query)
+		want := BitSillaEngine{M: bitsilla.New(tc.k, sc)}.Extend(ref, query)
+		if got.Score != want.Score || got.QueryLen != want.QueryLen ||
+			got.RefLen != want.RefLen || got.Cigar.String() != want.Cigar.String() {
+			t.Errorf("%s: cascade (score=%d q=%d r=%d cigar=%s) vs bitsilla (score=%d q=%d r=%d cigar=%s)",
+				tc.name, got.Score, got.QueryLen, got.RefLen, got.Cigar,
+				want.Score, want.QueryLen, want.RefLen, want.Cigar)
+		}
+		if routing.Legs[tc.leg].Accepted != 1 {
+			t.Errorf("%s: leg %s accepted %d, want 1 (routing %+v)",
+				tc.name, tc.leg, routing.Legs[tc.leg].Accepted, routing)
+		}
+	}
+}
+
+// TestRoutingMerge checks the histogram fold is element-wise and
+// partition-independent.
+func TestRoutingMerge(t *testing.T) {
+	mk := func(seed int64) Routing {
+		r := rand.New(rand.NewSource(seed))
+		var out Routing
+		for i := range out.Legs {
+			out.Legs[i] = LegStats{
+				Routed:      int64(r.Intn(100)),
+				Accepted:    int64(r.Intn(100)),
+				FellThrough: int64(r.Intn(100)),
+			}
+		}
+		return out
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	var left, right Routing
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+	var bc Routing
+	bc.Merge(b)
+	bc.Merge(c)
+	right.Merge(a)
+	right.Merge(bc)
+	if left != right {
+		t.Fatalf("merge is not associative: %+v vs %+v", left, right)
+	}
+	for i := range left.Legs {
+		want := a.Legs[i].Routed + b.Legs[i].Routed + c.Legs[i].Routed
+		if left.Legs[i].Routed != want {
+			t.Fatalf("leg %d routed %d, want %d", i, left.Legs[i].Routed, want)
+		}
+	}
+}
+
+// TestEngineWorkReports checks the satellite instrumentation fix: every
+// engine, including banded and the cascade legs, reports nonzero work in
+// Extension.Cycles so no engine is invisible in the stage counters.
+func TestEngineWorkReports(t *testing.T) {
+	r := rand.New(rand.NewSource(143))
+	ref := randSeq(r, 120)
+	query := ref[:80].Clone()
+	for _, p := range []int{10, 40, 70} {
+		query[p] = dna.Base((int(query[p]) + 1) % 4)
+	}
+	for _, ne := range engines(8) {
+		res := ne.eng.Extend(ref, query)
+		if res.Cycles <= 0 {
+			t.Errorf("%s: Cycles = %d, want > 0", ne.name, res.Cycles)
+		}
+		if ne.name != "sillax" && res.ReRuns != 0 {
+			t.Errorf("%s: ReRuns = %d, want 0", ne.name, res.ReRuns)
+		}
+	}
+}
+
+// TestGenasmEngineNilRouting checks the adapter tolerates a nil histogram.
+func TestGenasmEngineNilRouting(t *testing.T) {
+	r := rand.New(rand.NewSource(144))
+	sc := align.BWAMEMDefaults()
+	ref := randSeq(r, 100)
+	eng := GenasmEngine{M: genasm.New(8, sc)}
+	got := eng.Extend(ref, ref[:50].Clone())
+	if got.Score != 50*sc.Match {
+		t.Fatalf("score = %d, want %d", got.Score, 50*sc.Match)
+	}
+}

@@ -23,6 +23,13 @@ type Extension struct {
 	// Cigar covers the query completely (consumed part plus a trailing
 	// soft clip).
 	Cigar align.Cigar
+	// Cycles is the engine's work report for this call in its native
+	// unit — architectural cycles for the Silla machines, DP cells for
+	// the banded aligner, diagonal characters for the certified genasm
+	// path — and ReRuns counts traceback re-executions (SillaX only).
+	// Every engine fills Cycles so the stage instrumentation sees
+	// uniform busy counters regardless of Params.Engine.
+	Cycles, ReRuns int
 }
 
 // Engine runs one anchored, clipped extension. Implementations must treat
@@ -45,7 +52,7 @@ func (e BandedEngine) Extend(ref, query dna.Seq) Extension {
 	if n := len(res.Cigar); n > 0 && res.Cigar[n-1].Op == align.OpClip {
 		ql -= res.Cigar[n-1].Len
 	}
-	return Extension{Score: res.Score, QueryLen: ql, RefLen: res.Cigar.RefLen(), Cigar: res.Cigar}
+	return Extension{Score: res.Score, QueryLen: ql, RefLen: res.Cigar.RefLen(), Cigar: res.Cigar, Cycles: e.A.Cells()}
 }
 
 // SillaXEngine adapts a SillaX traceback lane.
@@ -56,7 +63,7 @@ type SillaXEngine struct{ M *sillax.TracebackMachine }
 //genax:hotpath
 func (e SillaXEngine) Extend(ref, query dna.Seq) Extension {
 	res := e.M.Extend(ref, query)
-	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar, Cycles: res.Cycles, ReRuns: res.ReRuns}
 }
 
 // BitSillaEngine adapts the bit-parallel Silla machine — byte-identical
@@ -68,7 +75,7 @@ type BitSillaEngine struct{ M *bitsilla.Machine }
 //genax:hotpath
 func (e BitSillaEngine) Extend(ref, query dna.Seq) Extension {
 	res := e.M.Extend(ref, query)
-	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+	return Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar, Cycles: res.Cycles}
 }
 
 // Stitcher runs anchored seed extensions through one engine, reusing

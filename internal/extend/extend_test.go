@@ -7,6 +7,7 @@ import (
 	"genax/internal/align"
 	"genax/internal/bitsilla"
 	"genax/internal/dna"
+	"genax/internal/genasm"
 	"genax/internal/sillax"
 	"genax/internal/sw"
 )
@@ -40,12 +41,16 @@ type namedEngine struct {
 
 // engines returns the extension engines under test in a fixed order (this
 // package is declared deterministic, so tests must not range over maps).
+// Order-sensitive tests index the first two entries; keep banded and
+// sillax in front.
 func engines(k int) []namedEngine {
 	sc := align.BWAMEMDefaults()
 	return []namedEngine{
 		{"banded", BandedEngine{A: sw.NewBandedAligner(sc, k)}},
 		{"sillax", SillaXEngine{M: sillax.NewTracebackMachine(k, sc)}},
 		{"bitsilla", BitSillaEngine{M: bitsilla.New(k, sc)}},
+		{"genasm", GenasmEngine{M: genasm.New(k, sc)}},
+		{"cascade", NewCascade(k, sc, nil)},
 	}
 }
 

@@ -1,0 +1,149 @@
+package genasm
+
+import (
+	"genax/internal/align"
+	"genax/internal/dna"
+)
+
+// Result is the outcome of one genasm seed extension. Field for field it
+// matches bitsilla.Result — Extend is byte-identical to the cycle-level
+// oracle on every input — plus the Certified flag the cascade's routing
+// histogram is built from.
+type Result struct {
+	// Score is the best clipped extension score.
+	Score int
+	// Cigar is the full edit trace including the trailing soft clip.
+	Cigar align.Cigar
+	// QueryLen and RefLen are the consumed prefix lengths.
+	QueryLen, RefLen int
+	// Cycles is the architectural work count: one cycle per diagonal
+	// character scanned, plus the fallback machine's cycles when the
+	// certification refused.
+	Cycles int
+	// Certified reports that the result came from the certified
+	// bit-vector fast path rather than the bitsilla fallback.
+	Certified bool
+}
+
+// TryExtend attempts the certified fast path: one gapless scan along the
+// anchored diagonal that either proves what the SillaX machines would
+// report for (ref, query) — byte-identical Score, QueryLen, RefLen, and
+// Cigar — or returns ok=false.
+//
+// Certification rule. Let s(j) be the score of the gapless alignment of
+// query[:j] against ref[:j] (+Match per equal pair, -Mismatch per
+// differing pair; the remaining query soft-clips for free), over
+// j in 0..min(qn, rn). The scan certifies iff
+//
+//  1. the maximizing j* is unique,
+//  2. s(j*) > 0,
+//  3. the scan saw at most K mismatches before j*, and
+//  4. s(j*) > qn*Match - (GapOpen+GapExtend).
+//
+// Soundness: every alignment the oracle can report is either gapless — a
+// diagonal prefix, whose score the scan evaluated exactly (positions past
+// rn only lose score, so truncating at min(qn, rn) is safe) — or contains
+// a gap and therefore scores at most qn*Match - (GapOpen+GapExtend), which
+// (4) strictly beats. With (1) the optimum is unique over *all* candidate
+// alignments, so no machine tie-break can pick anything else; with (2) it
+// beats the all-clipped empty extension; with (3) it is inside the edit
+// bound, so the bounded machines reach it. Uniqueness also pins QueryLen,
+// RefLen, and the '='/'X' run structure of the cigar, because a gapless
+// alignment is fully determined by its endpoint.
+//
+// The rule needs Match >= 1 and Mismatch >= 1 (otherwise distinct-looking
+// gapless prefixes tie on score and (1)/(4) lose their teeth, e.g. unit
+// scoring); machines built over such scorings never certify.
+//
+//genax:hotpath
+func (m *Machine) TryExtend(ref, query dna.Seq) (Result, bool) {
+	qn := len(query)
+	if qn == 0 {
+		// The empty query has exactly one extension: score 0, empty trace.
+		return Result{Certified: true}, true
+	}
+	if !m.certOK {
+		return Result{}, false
+	}
+	n := qn
+	if len(ref) < n {
+		n = len(ref)
+	}
+	a, b := int(m.cs.A), int(m.cs.B)
+	s, x := 0, 0
+	best, bestJ, bestX := 0, 0, 0
+	unique := true
+	for j := 0; j < n; j++ {
+		if query[j] == ref[j] {
+			s += a
+		} else {
+			s -= b
+			x++
+		}
+		if s > best {
+			best, bestJ, bestX, unique = s, j+1, x, true
+		} else if s == best {
+			unique = false
+		}
+	}
+	if !unique || best <= 0 || bestX > m.k || best <= qn*a-int(m.cs.Open) {
+		return Result{}, false
+	}
+	cig := m.cigBuf[:0]
+	run := 0
+	matching := query[0] == ref[0]
+	for j := 0; j < bestJ; j++ {
+		eq := query[j] == ref[j]
+		if eq != matching {
+			cig = appendDiag(cig, matching, run)
+			matching, run = eq, 0
+		}
+		run++
+	}
+	cig = appendDiag(cig, matching, run)
+	cig = cig.Append(align.OpClip, qn-bestJ)
+	m.cigBuf = cig
+	return Result{
+		Score:     best,
+		Cigar:     cig.Clone(),
+		QueryLen:  bestJ,
+		RefLen:    bestJ,
+		Cycles:    n,
+		Certified: true,
+	}, true
+}
+
+// appendDiag appends one '='/'X' run of the diagonal scan.
+//
+//genax:hotpath
+func appendDiag(c align.Cigar, matching bool, n int) align.Cigar {
+	if matching {
+		return c.Append(align.OpMatch, n)
+	}
+	return c.Append(align.OpMismatch, n)
+}
+
+// Extend runs one anchored, clipped seed extension: the certified
+// bit-vector fast path when it applies, the embedded bitsilla machine
+// otherwise. Either way the result is byte-identical to
+// sillax.TracebackMachine, which is what makes this engine (and any
+// cascade built on it) safe to substitute for the production default.
+//
+//genax:hotpath
+func (m *Machine) Extend(ref, query dna.Seq) Result {
+	if res, ok := m.TryExtend(ref, query); ok {
+		return res
+	}
+	n := len(query)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	fb := m.fallback.Extend(ref, query)
+	return Result{
+		Score:    fb.Score,
+		Cigar:    fb.Cigar,
+		QueryLen: fb.QueryLen,
+		RefLen:   fb.RefLen,
+		Cycles:   n + fb.Cycles,
+	}
+}

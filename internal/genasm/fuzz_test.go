@@ -1,0 +1,87 @@
+package genasm
+
+import (
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+)
+
+// FuzzGenasmVsSillaX differentially fuzzes the GenASM engine against the
+// cycle-level oracle, mirroring FuzzBitsillaVsSillaX: for any edit bound
+// and any pair of sequences, Extend must agree byte for byte on score,
+// consumed lengths and cigar — whether the certified fast path or the
+// fallback answered — and the unit-cost automaton must stay consistent
+// with itself (Align's trace reconciles with the strings and with
+// Distance). The checked-in seeds double as a regression gate in CI
+// (go test runs every seed even without -fuzz).
+func FuzzGenasmVsSillaX(f *testing.F) {
+	// Seeds cover: exact matches (exact certification), single interior
+	// substitutions at both edit-bound edges, score-tie refusals, clipped
+	// tails on both sides of the gap-escape threshold, indel fallbacks,
+	// empty inputs, and a bound past bitsilla.MaxWordK.
+	f.Add(uint8(1), uint8(4), []byte("ACGT"), []byte("ACGT"))
+	f.Add(uint8(0), uint8(2), []byte("ACGTACGTACGTACGTACGT"), []byte("ACGTACGTATGTACGTACGT"))
+	f.Add(uint8(1), uint8(2), []byte("ACGTACGTACGTACGTACGT"), []byte("ACGTACGTATGTACGTACGT"))
+	f.Add(uint8(4), uint8(3), []byte("ACGTAAAA"), []byte("ACTT"))
+	f.Add(uint8(1), uint8(5), []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"), []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGTAGTC"))
+	f.Add(uint8(1), uint8(5), []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"), []byte("ACGTACGTACGTACGTACGTACGTACGTACTGCATGCATG"))
+	f.Add(uint8(4), uint8(4), []byte("ACGTACGTAC"), []byte("ACGTACGGTACGT"))
+	f.Add(uint8(8), uint8(6), []byte("ACACACACACACACACAC"), []byte("ACACACACTACACACAC"))
+	f.Add(uint8(2), uint8(1), []byte("TTTTTTTT"), []byte("CCCCCCCC"))
+	f.Add(uint8(8), uint8(0), []byte{}, []byte("ACGT"))
+	f.Add(uint8(8), uint8(2), []byte("GGGG"), []byte{})
+	f.Add(uint8(65), uint8(7), []byte("ACGTACGTACGTACGTACGTA"), []byte("ACGTACGTACGTACGTACGT"))
+	f.Fuzz(func(t *testing.T, kRaw, budgetRaw uint8, refB, qB []byte) {
+		k := int(kRaw) % 70
+		budget := int(budgetRaw) % 10
+		if len(refB) > 300 {
+			refB = refB[:300]
+		}
+		if len(qB) > 300 {
+			qB = qB[:300]
+		}
+		ref := make(dna.Seq, len(refB))
+		for i, b := range refB {
+			ref[i] = dna.Base(b & 3)
+		}
+		query := make(dna.Seq, len(qB))
+		for i, b := range qB {
+			query[i] = dna.Base(b & 3)
+		}
+		sc := align.BWAMEMDefaults()
+		m := New(k, sc)
+		got := m.Extend(ref, query)
+		want := sillax.NewTracebackMachine(k, sc).Extend(ref, query)
+		if got.Score != want.Score || got.QueryLen != want.QueryLen ||
+			got.RefLen != want.RefLen || got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("k=%d ref=%v query=%v:\ngenasm (score=%d q=%d r=%d cigar=%s certified=%v)\nsillax (score=%d q=%d r=%d cigar=%s)",
+				k, ref, query,
+				got.Score, got.QueryLen, got.RefLen, got.Cigar, got.Certified,
+				want.Score, want.QueryLen, want.RefLen, want.Cigar)
+		}
+		if err := got.Cigar.Validate(ref, query); err != nil {
+			t.Fatalf("k=%d: invalid cigar %s: %v", k, got.Cigar, err)
+		}
+		// Automaton self-consistency on the same machine and inputs.
+		dist, dok := m.Distance(ref, query, budget)
+		al, aok := m.Align(ref, query, budget)
+		if dok != aok {
+			t.Fatalf("budget=%d: Distance ok=%v but Align ok=%v", budget, dok, aok)
+		}
+		if !aok {
+			return
+		}
+		if al.D != dist {
+			t.Fatalf("budget=%d: Align d=%d, Distance d=%d", budget, al.D, dist)
+		}
+		if err := al.Cigar.Validate(ref, query); err != nil {
+			t.Fatalf("budget=%d: invalid automaton cigar %s: %v", budget, al.Cigar, err)
+		}
+		if al.Cigar.Edits() != al.D || al.Cigar.RefLen() != al.RefLen {
+			t.Fatalf("budget=%d: cigar %s (edits=%d ref=%d) contradicts alignment (d=%d ref=%d)",
+				budget, al.Cigar, al.Cigar.Edits(), al.Cigar.RefLen(), al.D, al.RefLen)
+		}
+	})
+}

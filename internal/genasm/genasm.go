@@ -1,0 +1,343 @@
+// Package genasm is a GenASM-style bit-vector approximate matcher for the
+// extend stage: the Bitap-with-edits automaton of GenASM (Senol Cali et
+// al.) with Scrooge's stored-state reduction (Lindegger et al.), adapted
+// to the anchored prefix-alignment geometry the SillaX engines use.
+//
+// The automaton keeps one bit-vector R[d] per edit level d (0..budget).
+// After consuming t reference characters, bit j of R[d] means "query[:j]
+// aligns against ref[:t] with at most d unit edits", anchored at (0,0).
+// One text step is, per level (W = qn/64+1 words, shl1 = whole-vector
+// shift left by one bit):
+//
+//	new[d] = shl1(old[d] & pm[ref[t-1]])  // match: consume both
+//	       | old[d-1]                     // deletion: consume ref only
+//	       | shl1(old[d-1])               // substitution
+//	       | shl1(new[d-1])               // insertion: consume query only
+//
+// with R_0[d] = bits 0..min(d, qn) and acceptance at bit qn. Levels are
+// processed in ascending d, so the insertion term reads the current step's
+// already-finished lower level — exactly GenASM's intra-iteration chain.
+// The recurrence preserves R[d-1] ⊆ R[d] (monotonicity), which the
+// traceback relies on to label substitutions soundly.
+//
+// Storage follows Scrooge's SENE reduction: only the R vectors are stored
+// (one row per text step), never the four per-transition intermediates —
+// traceback re-derives each edge from the stored entries. Distance goes
+// further and keeps two rolling rows (DENT: rows that can no longer be
+// used in any traceback are discarded immediately).
+//
+// On top of the unit-cost automaton, TryExtend implements the certified
+// fast path of the engine cascade: a single diagonal scan that either
+// proves the affine-gap clipped extension the SillaX machines would report
+// — byte-identical score, lengths, and CIGAR — or refuses. Extend composes
+// it with an embedded bitsilla fallback, making the whole engine
+// byte-identical to the cycle-level oracle on every input.
+//
+// Machines are not safe for concurrent use; allocate one per lane.
+package genasm
+
+import (
+	"genax/internal/align"
+	"genax/internal/bitsilla"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+)
+
+const wordBits = 64
+
+// Machine is a GenASM bit-vector matcher plus the certified extension
+// front end. All scratch (pattern masks, row slab, cigar buffers) is
+// reused across calls; steady-state Extend allocates only the returned
+// cigar.
+type Machine struct {
+	k      int
+	sc     align.Scoring
+	cs     sillax.Costs
+	certOK bool // scoring admits the certification rule (Match,Mismatch >= 1)
+
+	// pm[b] is the pattern bitmask of the current query: bit j set iff
+	// query[j] == b.
+	pm [dna.NumBases][]uint64
+
+	// rows is the R-vector slab: row t occupies (budget+1)*W words at
+	// offset t*stride (Align) or alternates between two rows (Distance).
+	rows []uint64
+
+	// cigBuf and revBuf are reusable cigar scratch; returned cigars are
+	// fresh clones so they stay valid across calls (Engine contract).
+	cigBuf align.Cigar
+	revBuf align.Cigar
+
+	// fallback produces the oracle-identical result whenever TryExtend
+	// cannot certify one.
+	fallback *bitsilla.Machine
+}
+
+// New builds a machine with edit bound k for the certified extension path.
+// The unit-cost Distance/Align automaton takes its budget per call and is
+// independent of k.
+func New(k int, sc align.Scoring) *Machine {
+	if k < 0 {
+		panic("genasm: negative edit bound")
+	}
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{
+		k:        k,
+		sc:       sc,
+		cs:       sillax.NewCosts(sc),
+		certOK:   sc.Match >= 1 && sc.Mismatch >= 1,
+		fallback: bitsilla.New(k, sc),
+	}
+}
+
+// K returns the edit bound of the extension path.
+func (m *Machine) K() int { return m.k }
+
+// prepare sizes the pattern masks for query and the row slab for tRows
+// stored rows of budget+1 levels, returning the per-level word count W.
+func (m *Machine) prepare(query dna.Seq, budget, tRows int) int {
+	qn := len(query)
+	w := qn/wordBits + 1
+	for b := 0; b < dna.NumBases; b++ {
+		p := m.pm[b]
+		if cap(p) < w {
+			p = make([]uint64, w)
+		}
+		p = p[:w]
+		for i := range p {
+			p[i] = 0
+		}
+		m.pm[b] = p
+	}
+	for j, c := range query {
+		m.pm[c][j/wordBits] |= 1 << (j % wordBits)
+	}
+	size := tRows * (budget + 1) * w
+	if cap(m.rows) < size {
+		m.rows = make([]uint64, size)
+	}
+	m.rows = m.rows[:size]
+	return w
+}
+
+// setPrefix sets the first n bits of w and clears the rest.
+//
+//genax:hotpath
+func setPrefix(w []uint64, n int) {
+	for i := range w {
+		switch {
+		case n >= wordBits:
+			w[i] = ^uint64(0)
+			n -= wordBits
+		case n > 0:
+			w[i] = uint64(1)<<n - 1
+			n = 0
+		default:
+			w[i] = 0
+		}
+	}
+}
+
+// initRow writes the t=0 row: level d holds bits 0..min(d, qn) — the empty
+// reference prefix absorbs up to d leading query bases as insertions.
+//
+//genax:hotpath
+func initRow(row []uint64, budget, qn, w int) {
+	for d := 0; d <= budget; d++ {
+		nb := d
+		if nb > qn {
+			nb = qn
+		}
+		setPrefix(row[d*w:(d+1)*w], nb+1)
+	}
+}
+
+// step advances every level 0..top from src (row t-1) to dst (row t) for
+// text character c at step t, and reports whether any bit is still set.
+//
+//genax:hotpath
+func (m *Machine) step(dst, src []uint64, c dna.Base, top, w, t int) bool {
+	pm := m.pm[c]
+	any := false
+	for d := 0; d <= top; d++ {
+		out := dst[d*w : (d+1)*w]
+		prev := src[d*w : (d+1)*w]
+		var cm, cs, ci uint64 // cross-word shift carries: match, sub, ins
+		if d == 0 {
+			for i := 0; i < w; i++ {
+				am := prev[i] & pm[i]
+				v := am<<1 | cm
+				cm = am >> (wordBits - 1)
+				out[i] = v
+				if v != 0 {
+					any = true
+				}
+			}
+			continue
+		}
+		below := src[(d-1)*w : d*w]
+		belowNew := dst[(d-1)*w : d*w]
+		for i := 0; i < w; i++ {
+			am := prev[i] & pm[i]
+			v := am<<1 | cm | below[i] | below[i]<<1 | cs | belowNew[i]<<1 | ci
+			cm = am >> (wordBits - 1)
+			cs = below[i] >> (wordBits - 1)
+			ci = belowNew[i] >> (wordBits - 1)
+			out[i] = v
+			if v != 0 {
+				any = true
+			}
+		}
+		if t <= d {
+			// All-deletions path: ref[:t] deleted against the empty query
+			// prefix. The deletion term already propagates this from level
+			// d-1; setting it explicitly keeps row t correct even when the
+			// caller restricted level d-1 on an earlier step.
+			out[0] |= 1
+			any = true
+		}
+	}
+	return any
+}
+
+// Distance reports the smallest edit count d <= budget at which the whole
+// query aligns against some prefix of ref (anchored at 0), using two
+// rolling rows. ok is false when every alignment needs more than budget
+// edits.
+func (m *Machine) Distance(ref, query dna.Seq, budget int) (int, bool) {
+	if budget < 0 {
+		panic("genasm: negative edit budget")
+	}
+	qn := len(query)
+	tmax := qn + budget
+	if tmax > len(ref) {
+		tmax = len(ref)
+	}
+	w := m.prepare(query, budget, 2)
+	stride := (budget + 1) * w
+	cur := m.rows[:stride]
+	nxt := m.rows[stride : 2*stride]
+	initRow(cur, budget, qn, w)
+	best := -1
+	top := budget
+	if qn <= budget {
+		// t=0 acceptance: the whole query inserted. Minimal level is qn.
+		best, top = qn, qn-1
+	}
+	qw, qb := qn/wordBits, uint(qn%wordBits)
+	for t := 1; t <= tmax && top >= 0; t++ {
+		if !m.step(nxt, cur, ref[t-1], top, w, t) {
+			break
+		}
+		for d := 0; d <= top; d++ {
+			if nxt[d*w+qw]>>qb&1 == 1 {
+				best, top = d, d-1
+				break
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Alignment is one unit-cost anchored alignment found by the automaton.
+type Alignment struct {
+	// D is the edit count — minimal over all prefix alignments, with the
+	// shortest reference prefix among level-D endpoints.
+	D int
+	// RefLen is the reference prefix consumed.
+	RefLen int
+	// Cigar is the full-query trace (no clipping; unit costs).
+	Cigar align.Cigar
+}
+
+// Align runs the automaton storing every row (SENE: entries only, edges
+// recomputed) and tracebacks the minimal-edit, then minimal-reference
+// endpoint. The returned cigar does not alias machine scratch.
+func (m *Machine) Align(ref, query dna.Seq, budget int) (Alignment, bool) {
+	if budget < 0 {
+		panic("genasm: negative edit budget")
+	}
+	qn := len(query)
+	tmax := qn + budget
+	if tmax > len(ref) {
+		tmax = len(ref)
+	}
+	w := m.prepare(query, budget, tmax+1)
+	stride := (budget + 1) * w
+	initRow(m.rows[:stride], budget, qn, w)
+	best, bestT := -1, 0
+	top := budget
+	if qn <= budget {
+		best, bestT, top = qn, 0, qn-1
+	}
+	qw, qb := qn/wordBits, uint(qn%wordBits)
+	for t := 1; t <= tmax && top >= 0; t++ {
+		cur := m.rows[(t-1)*stride : t*stride]
+		nxt := m.rows[t*stride : (t+1)*stride]
+		if !m.step(nxt, cur, ref[t-1], top, w, t) {
+			break
+		}
+		for d := 0; d <= top; d++ {
+			if nxt[d*w+qw]>>qb&1 == 1 {
+				best, bestT, top = d, t, d-1
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return Alignment{}, false
+	}
+	return m.traceback(ref, query, best, bestT, stride, w), true
+}
+
+// traceback walks the stored rows from endpoint (t0, bit qn, level d0)
+// back to (0, 0), re-deriving each edge from the entries (SENE). Source
+// priority is match > substitution > deletion > insertion; monotonicity
+// (R[d-1] ⊆ R[d]) guarantees that when the bases match, the match source
+// is active whenever any diagonal source is, so 'X' runs never cover
+// equal bases.
+func (m *Machine) traceback(ref, query dna.Seq, d0, t0, stride, w int) Alignment {
+	bit := func(t, d, j int) bool {
+		return m.rows[t*stride+d*w+j/wordBits]>>(uint(j%wordBits))&1 == 1
+	}
+	rev := m.revBuf[:0]
+	t, d, j := t0, d0, len(query)
+	for t > 0 || j > 0 {
+		if t > 0 && j > 0 && query[j-1] == ref[t-1] && bit(t-1, d, j-1) {
+			rev = rev.Append(align.OpMatch, 1)
+			t--
+			j--
+			continue
+		}
+		if d > 0 {
+			if t > 0 && j > 0 && bit(t-1, d-1, j-1) {
+				rev = rev.Append(align.OpMismatch, 1)
+				t--
+				j--
+				d--
+				continue
+			}
+			if t > 0 && bit(t-1, d-1, j) {
+				rev = rev.Append(align.OpDel, 1)
+				t--
+				d--
+				continue
+			}
+			if j > 0 && bit(t, d-1, j-1) {
+				rev = rev.Append(align.OpIns, 1)
+				j--
+				d--
+				continue
+			}
+		}
+		panic("genasm: traceback lost the automaton trail")
+	}
+	m.revBuf = rev
+	return Alignment{D: d0, RefLen: t0, Cigar: rev.Reverse()}
+}

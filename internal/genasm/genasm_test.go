@@ -1,0 +1,372 @@
+package genasm
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+)
+
+func randSeq(r *rand.Rand, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(r.Intn(dna.NumBases))
+	}
+	return s
+}
+
+func mutate(r *rand.Rand, s dna.Seq, e int) dna.Seq {
+	out := s.Clone()
+	for i := 0; i < e; i++ {
+		if len(out) == 0 {
+			out = append(out, dna.Base(r.Intn(4)))
+			continue
+		}
+		p := r.Intn(len(out))
+		switch r.Intn(3) {
+		case 0:
+			out[p] = dna.Base((int(out[p]) + 1 + r.Intn(3)) % 4)
+		case 1:
+			out = append(out[:p], append(dna.Seq{dna.Base(r.Intn(4))}, out[p:]...)...)
+		case 2:
+			out = append(out[:p], out[p+1:]...)
+		}
+	}
+	return out
+}
+
+// prefixDistDP is the quadratic reference oracle for the automaton: the
+// minimal Levenshtein distance of query against any prefix of ref, plus
+// the shortest prefix achieving it.
+func prefixDistDP(ref, query dna.Seq) (dist, refLen int) {
+	qn := len(query)
+	prev := make([]int, qn+1)
+	cur := make([]int, qn+1)
+	for j := 0; j <= qn; j++ {
+		prev[j] = j
+	}
+	best, bestT := prev[qn], 0
+	for t := 1; t <= len(ref); t++ {
+		cur[0] = t
+		for j := 1; j <= qn; j++ {
+			d := prev[j-1]
+			if ref[t-1] != query[j-1] {
+				d++
+			}
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			cur[j] = d
+		}
+		if cur[qn] < best {
+			best, bestT = cur[qn], t
+		}
+		prev, cur = cur, prev
+	}
+	return best, bestT
+}
+
+func TestGenasmDistanceMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	m := New(8, align.BWAMEMDefaults())
+	for trial := 0; trial < 400; trial++ {
+		ref := randSeq(r, r.Intn(120))
+		query := mutate(r, ref[:r.Intn(len(ref)+1)], r.Intn(10))
+		budget := r.Intn(12)
+		want, _ := prefixDistDP(ref, query)
+		got, ok := m.Distance(ref, query, budget)
+		if ok != (want <= budget) {
+			t.Fatalf("trial %d: budget=%d ok=%v, DP dist=%d", trial, budget, ok, want)
+		}
+		if ok && got != want {
+			t.Fatalf("trial %d: budget=%d dist=%d, DP dist=%d\nref=%v\nquery=%v", trial, budget, got, want, ref, query)
+		}
+	}
+}
+
+func TestGenasmAlignMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	m := New(8, align.BWAMEMDefaults())
+	for trial := 0; trial < 300; trial++ {
+		ref := randSeq(r, r.Intn(100))
+		query := mutate(r, ref[:r.Intn(len(ref)+1)], r.Intn(8))
+		budget := r.Intn(10)
+		wantD, wantT := prefixDistDP(ref, query)
+		al, ok := m.Align(ref, query, budget)
+		if ok != (wantD <= budget) {
+			t.Fatalf("trial %d: budget=%d ok=%v, DP dist=%d", trial, budget, ok, wantD)
+		}
+		if !ok {
+			continue
+		}
+		if al.D != wantD || al.RefLen != wantT {
+			t.Fatalf("trial %d: got (d=%d t=%d), DP (d=%d t=%d)", trial, al.D, al.RefLen, wantD, wantT)
+		}
+		if err := al.Cigar.Validate(ref, query); err != nil {
+			t.Fatalf("trial %d: invalid cigar %s: %v", trial, al.Cigar, err)
+		}
+		if al.Cigar.Edits() != al.D {
+			t.Fatalf("trial %d: cigar %s has %d edits, reported %d", trial, al.Cigar, al.Cigar.Edits(), al.D)
+		}
+		if al.Cigar.RefLen() != al.RefLen {
+			t.Fatalf("trial %d: cigar %s consumes %d ref bases, reported %d", trial, al.Cigar, al.Cigar.RefLen(), al.RefLen)
+		}
+	}
+}
+
+// checkSame asserts the genasm result is byte-identical to the cycle
+// model's on the observable fields (Score, QueryLen, RefLen, Cigar).
+func checkSame(t *testing.T, k int, ref, query dna.Seq, got Result, want sillax.TracebackResult) {
+	t.Helper()
+	if got.Score != want.Score || got.QueryLen != want.QueryLen || got.RefLen != want.RefLen ||
+		got.Cigar.String() != want.Cigar.String() {
+		t.Fatalf("k=%d ref=%v query=%v:\ngenasm (score=%d q=%d r=%d cigar=%s certified=%v)\nsillax (score=%d q=%d r=%d cigar=%s)",
+			k, ref, query,
+			got.Score, got.QueryLen, got.RefLen, got.Cigar, got.Certified,
+			want.Score, want.QueryLen, want.RefLen, want.Cigar)
+	}
+}
+
+// diffK mirrors the bitsilla differential sweep, plus a bound past
+// bitsilla.MaxWordK so the fallback-of-the-fallback path is covered.
+var diffK = []int{0, 1, 2, 3, 4, 8, 16, 40, 63, 65}
+
+func TestGenasmExtendMatchesTracebackRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	sc := align.BWAMEMDefaults()
+	certified := 0
+	for _, k := range diffK {
+		gm := New(k, sc)
+		tm := sillax.NewTracebackMachine(k, sc)
+		for trial := 0; trial < 100; trial++ {
+			ref := randSeq(r, r.Intn(90))
+			e := r.Intn(k + 3)
+			if trial%3 == 0 {
+				e = r.Intn(2) // easy reads: the certified path's habitat
+			}
+			query := mutate(r, ref, e)
+			got := gm.Extend(ref, query)
+			if got.Certified {
+				certified++
+			}
+			checkSame(t, k, ref, query, got, tm.Extend(ref, query))
+		}
+	}
+	if certified == 0 {
+		t.Fatal("no extension took the certified fast path; the sweep is not exercising it")
+	}
+}
+
+// TestGenasmExtendMatchesTracebackAltScoring varies the affine scheme.
+// The first scheme cannot certify anything (Match < 1 would let distinct
+// clip points tie); identity must hold regardless.
+func TestGenasmExtendMatchesTracebackAltScoring(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for si, sc := range []align.Scoring{
+		align.Unit(),
+		{Match: 2, Mismatch: 3, GapOpen: 5, GapExtend: 2},
+		{Match: 1, Mismatch: 1, GapOpen: 1, GapExtend: 1},
+		{Match: 5, Mismatch: 4, GapOpen: 8, GapExtend: 1},
+	} {
+		for _, k := range []int{2, 4, 8, 19} {
+			gm := New(k, sc)
+			tm := sillax.NewTracebackMachine(k, sc)
+			for trial := 0; trial < 60; trial++ {
+				ref := randSeq(r, r.Intn(70))
+				query := mutate(r, ref, r.Intn(k+3))
+				got := gm.Extend(ref, query)
+				if si == 0 && got.Certified && len(query) > 0 {
+					t.Fatalf("unit scoring certified a non-empty extension (ref=%v query=%v)", ref, query)
+				}
+				checkSame(t, k, ref, query, got, tm.Extend(ref, query))
+			}
+		}
+	}
+}
+
+// TestGenasmCertifyEdges pins the certification rule's boundaries: the
+// edit-bound edge (k interior mismatches certify, k+1 do not), the
+// gap-escape threshold (a mismatch deficit equal to the gap-open cost must
+// refuse, one less must certify), score ties, all-mismatch and zero-length
+// inputs. Every case must stay byte-identical to the oracle either way.
+func TestGenasmCertifyEdges(t *testing.T) {
+	mustSame := func(k int, sc align.Scoring, ref, query dna.Seq, wantCertified bool, label string) {
+		t.Helper()
+		got := New(k, sc).Extend(ref, query)
+		if got.Certified != wantCertified {
+			t.Errorf("%s: certified=%v, want %v", label, got.Certified, wantCertified)
+		}
+		checkSame(t, k, ref, query, got, sillax.NewTracebackMachine(k, sc).Extend(ref, query))
+	}
+	r := rand.New(rand.NewSource(74))
+	bwa := align.BWAMEMDefaults()
+	ref := randSeq(r, 60)
+
+	// Edit-bound edge: one interior substitution against k=1 vs k=0. With
+	// BWA-MEM costs one mismatch keeps the full-length optimum unique and
+	// above the gap escape (deficit 5 < open 7), so only the edit bound
+	// decides.
+	oneSub := ref[:40].Clone()
+	oneSub[20] = dna.Base((int(oneSub[20]) + 1) % 4)
+	mustSame(1, bwa, ref, oneSub, true, "one sub, k=1")
+	mustSame(0, bwa, ref, oneSub, false, "one sub, k=0")
+
+	// Gap-escape threshold: Open = GapOpen+GapExtend. A single mismatch
+	// costs Match+Mismatch = 3; with Open = 3 the gapless optimum only
+	// ties the bound qn*Match-Open, so certification must refuse; with
+	// Open = 4 it clears it.
+	mustSame(4, align.Scoring{Match: 1, Mismatch: 2, GapOpen: 2, GapExtend: 1}, ref, oneSub, false, "deficit == Open")
+	mustSame(4, align.Scoring{Match: 1, Mismatch: 2, GapOpen: 3, GapExtend: 1}, ref, oneSub, true, "deficit < Open")
+
+	// Score tie: = = X = under Match=1, Mismatch=1 ties prefixes 2 and 4.
+	tieRef, _ := dna.ParseSeq("ACGTAAAA")
+	tieQ, _ := dna.ParseSeq("ACTT")
+	mustSame(4, align.Scoring{Match: 1, Mismatch: 1, GapOpen: 6, GapExtend: 1}, tieRef, tieQ, false, "tied clip points")
+
+	// All-mismatch query: optimum is the empty extension, never certified.
+	allMiss := ref[:30].Clone()
+	for i := range allMiss {
+		allMiss[i] = dna.Base((int(allMiss[i]) + 1) % 4)
+	}
+	mustSame(8, bwa, ref, allMiss, false, "all mismatch")
+
+	// Zero-length query and zero-length reference.
+	mustSame(8, bwa, ref, nil, true, "empty query")
+	mustSame(8, bwa, nil, ref[:20], false, "empty ref")
+	mustSame(8, bwa, nil, nil, true, "both empty")
+
+	// Exact full-length match: trivially certified.
+	mustSame(8, bwa, ref, ref[:40].Clone(), true, "exact")
+
+	// Certified clipped tail: mismatches after the optimum clip point do
+	// not count against the edit bound, and a short clip (cost under the
+	// gap-open threshold) stays certifiable.
+	tail := ref[:40].Clone()
+	for i := 37; i < 40; i++ {
+		tail[i] = dna.Base((int(tail[i]) + 1) % 4)
+	}
+	mustSame(1, bwa, ref, tail, true, "clipped mismatch tail")
+
+	// A long mismatched tail pushes the gapless optimum below the
+	// gap-escape bound qn*Match - Open — a gapped alignment could beat
+	// it, so certification must refuse.
+	longTail := ref[:40].Clone()
+	for i := 30; i < 40; i++ {
+		longTail[i] = dna.Base((int(longTail[i]) + 1) % 4)
+	}
+	mustSame(1, bwa, ref, longTail, false, "long clipped tail")
+}
+
+// TestGenasmTryExtendAgreesWithExtend pins TryExtend's contract: whenever
+// it reports ok, the result must equal the full Extend result field for
+// field.
+func TestGenasmTryExtendAgreesWithExtend(t *testing.T) {
+	r := rand.New(rand.NewSource(75))
+	sc := align.BWAMEMDefaults()
+	gm := New(4, sc)
+	check := New(4, sc)
+	hits := 0
+	for trial := 0; trial < 300; trial++ {
+		ref := randSeq(r, r.Intn(80))
+		query := mutate(r, ref, r.Intn(3))
+		res, ok := gm.TryExtend(ref, query)
+		full := check.Extend(ref, query)
+		if !ok {
+			if full.Certified {
+				t.Fatalf("trial %d: TryExtend refused what Extend certified", trial)
+			}
+			continue
+		}
+		hits++
+		if res.Score != full.Score || res.QueryLen != full.QueryLen || res.RefLen != full.RefLen ||
+			res.Cigar.String() != full.Cigar.String() || !res.Certified {
+			t.Fatalf("trial %d: TryExtend %+v vs Extend %+v", trial, res, full)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("TryExtend never certified")
+	}
+}
+
+// TestGenasmMachineReuse interleaves certified, fallback and automaton
+// calls on one machine: results must match a fresh machine's, and earlier
+// cigars must survive later calls (the Engine contract).
+func TestGenasmMachineReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(76))
+	sc := align.BWAMEMDefaults()
+	m := New(8, sc)
+	type held struct {
+		want string
+		got  align.Cigar
+	}
+	var kept []held
+	for trial := 0; trial < 120; trial++ {
+		ref := randSeq(r, 40+r.Intn(40))
+		query := mutate(r, ref, r.Intn(6))
+		res := m.Extend(ref, query)
+		fresh := New(8, sc).Extend(ref, query)
+		if res.Score != fresh.Score || res.Cigar.String() != fresh.Cigar.String() {
+			t.Fatalf("trial %d: reused machine diverged: %v vs %v", trial, res.Cigar, fresh.Cigar)
+		}
+		if trial%7 == 0 {
+			if _, ok := m.Align(ref, query, 4); ok {
+				// Interleave automaton runs to stress shared scratch.
+			}
+		}
+		kept = append(kept, held{want: res.Cigar.String(), got: res.Cigar})
+		if len(kept) > 8 {
+			kept = kept[1:]
+		}
+		for i, h := range kept {
+			if h.got.String() != h.want {
+				t.Fatalf("trial %d: held cigar %d mutated: %s != %s", trial, i, h.got, h.want)
+			}
+		}
+	}
+}
+
+// TestGenasmExtendSteadyStateAllocs pins the allocation budget: one
+// allocation per call (the returned cigar) on both the certified and the
+// fallback path.
+func TestGenasmExtendSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	sc := align.BWAMEMDefaults()
+	m := New(16, sc)
+	ref := randSeq(r, 120)
+	easy := ref[:100].Clone()
+	easy[50] = dna.Base((int(easy[50]) + 1) % 4)
+	hard := mutate(r, ref[:100], 8)
+	m.Extend(ref, easy)
+	m.Extend(ref, hard)
+	if got := testing.AllocsPerRun(50, func() { m.Extend(ref, easy) }); got > 1 {
+		t.Errorf("certified path allocates %.1f/call, budget 1", got)
+	}
+	if !func() bool { res, _ := m.TryExtend(ref, easy); return res.Certified }() {
+		t.Fatal("easy read unexpectedly not certified; alloc test is mis-targeted")
+	}
+	if got := testing.AllocsPerRun(50, func() { m.Extend(ref, hard) }); got > 1 {
+		t.Errorf("fallback path allocates %.1f/call, budget 1", got)
+	}
+}
+
+func TestGenasmNewPanics(t *testing.T) {
+	expectPanic := func(label string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", label)
+			}
+		}()
+		f()
+	}
+	expectPanic("negative k", func() { New(-1, align.BWAMEMDefaults()) })
+	expectPanic("invalid scoring", func() { New(4, align.Scoring{Match: 1}) })
+	m := New(4, align.BWAMEMDefaults())
+	expectPanic("negative budget", func() { m.Distance(nil, nil, -1) })
+	expectPanic("negative align budget", func() { m.Align(nil, nil, -1) })
+}

@@ -32,6 +32,7 @@ var Packages = map[string]bool{
 	"genax/internal/bitsilla": true,
 	"genax/internal/core":     true,
 	"genax/internal/extend":   true,
+	"genax/internal/genasm":   true,
 	"genax/internal/pipeline": true,
 	"genax/internal/seed":     true,
 	"genax/internal/silla":    true,

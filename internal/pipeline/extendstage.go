@@ -5,39 +5,29 @@ import (
 	"genax/internal/bitsilla"
 	"genax/internal/dna"
 	"genax/internal/extend"
+	"genax/internal/genasm"
 	"genax/internal/hw"
 	"genax/internal/sillax"
 	"genax/internal/sw"
 )
 
-// countingEngine wraps a cycle-level SillaX lane, accumulating cycle and
-// re-run counters across extensions.
+// countingEngine wraps every extension engine uniformly, folding each
+// call's work report (Extension.Cycles and ReRuns, in the engine's native
+// unit) into the lane stats. Before this wrapper covered all engines the
+// banded baseline bypassed it and was invisible in the -stages busy and
+// cycle counters.
 type countingEngine struct {
-	m      *sillax.TracebackMachine
+	inner  extend.Engine
 	cycles *int64
 	reruns *int64
 }
 
 //genax:hotpath
 func (e countingEngine) Extend(ref, query dna.Seq) extend.Extension {
-	res := e.m.Extend(ref, query)
+	res := e.inner.Extend(ref, query)
 	*e.cycles += int64(res.Cycles)
 	*e.reruns += int64(res.ReRuns)
-	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
-}
-
-// bitCountingEngine wraps a bit-parallel Silla lane. Re-runs stay zero:
-// the time-indexed trail cannot break, so there is nothing to re-execute.
-type bitCountingEngine struct {
-	m      *bitsilla.Machine
-	cycles *int64
-}
-
-//genax:hotpath
-func (e bitCountingEngine) Extend(ref, query dna.Seq) extend.Extension {
-	res := e.m.Extend(ref, query)
-	*e.cycles += int64(res.Cycles)
-	return extend.Extension{Score: res.Score, QueryLen: res.QueryLen, RefLen: res.RefLen, Cigar: res.Cigar}
+	return res
 }
 
 // extendLane is one ExtendStage worker's persistent state: the extension
@@ -52,23 +42,24 @@ type extendLane struct {
 }
 
 // newEngine builds one lane's extension engine per Params.Engine, wiring
-// the cycle counters of the Silla machines into stats.
+// the engine's work counters (and, for the cascading engines, the routing
+// histogram) into the lane-local stats that merge at drain time.
 func (p *Pipeline) newEngine(stats *Stats) extend.Engine {
+	k, sc := p.params.K, p.params.Scoring
+	var inner extend.Engine
 	switch p.params.Engine {
 	case EngineSillaX:
-		return countingEngine{
-			m:      sillax.NewTracebackMachine(p.params.K, p.params.Scoring),
-			cycles: &stats.ExtensionCycles,
-			reruns: &stats.ReRuns,
-		}
+		inner = extend.SillaXEngine{M: sillax.NewTracebackMachine(k, sc)}
 	case EngineBanded:
-		return extend.BandedEngine{A: sw.NewBandedAligner(p.params.Scoring, p.params.K)}
+		inner = extend.BandedEngine{A: sw.NewBandedAligner(sc, k)}
+	case EngineGenasm:
+		inner = extend.GenasmEngine{M: genasm.New(k, sc), R: &stats.Routing}
+	case EngineCascade:
+		inner = extend.NewCascade(k, sc, &stats.Routing)
 	default: // EngineBitSilla
-		return bitCountingEngine{
-			m:      bitsilla.New(p.params.K, p.params.Scoring),
-			cycles: &stats.ExtensionCycles,
-		}
+		inner = extend.BitSillaEngine{M: bitsilla.New(k, sc)}
 	}
+	return countingEngine{inner: inner, cycles: &stats.ExtensionCycles, reruns: &stats.ReRuns}
 }
 
 func (p *Pipeline) newExtendLane() *extendLane {

@@ -1,6 +1,9 @@
 package pipeline
 
-import "genax/internal/align"
+import (
+	"genax/internal/align"
+	"genax/internal/extend"
+)
 
 // Stats aggregates pipeline work counters (the measured coefficients the
 // hw throughput model consumes). Work counters are sums over lane-local
@@ -14,6 +17,9 @@ type Stats struct {
 	Extensions                 int64
 	ExtensionCycles            int64
 	ReRuns                     int64
+	// Routing is the cascade's per-leg histogram (extensions routed /
+	// accepted / fell-through); all-zero for non-cascading engines.
+	Routing extend.Routing
 }
 
 // ReadResult is the outcome for one read.
@@ -33,6 +39,7 @@ func (t *Stats) merge(s Stats) {
 	t.Extensions += s.Extensions
 	t.ExtensionCycles += s.ExtensionCycles
 	t.ReRuns += s.ReRuns
+	t.Routing.Merge(s.Routing)
 }
 
 // Merge folds another stats block's work counters into t. It is the

@@ -78,6 +78,7 @@ type BandedAligner struct {
 	fromH []uint8
 	fromI []uint8
 	fromD []uint8
+	cells int
 }
 
 // NewBandedAligner returns a banded aligner with band radius k (the band
@@ -91,6 +92,11 @@ func NewBandedAligner(sc align.Scoring, k int) *BandedAligner {
 
 // Band returns the band radius.
 func (ba *BandedAligner) Band() int { return ba.band }
+
+// Cells returns the number of DP cells the last Extend call computed —
+// the banded aligner's work unit, the software analogue of the Silla
+// machines' cycle counts.
+func (ba *BandedAligner) Cells() int { return ba.cells }
 
 // Extend performs anchored extension (mode Extend of Aligner) inside the
 // band: both sequences anchored at 0, best prefix-pair score wins, query
@@ -123,8 +129,10 @@ func (ba *BandedAligner) Extend(ref, query dna.Seq) align.Result {
 	for i := range h[:size] {
 		h[i], e[i], f[i] = negInf, negInf, negInf
 	}
+	cells := 0
 	// Row 0: r from 0..min(n,k).
 	for r := 0; r <= n && r <= k; r++ {
+		cells++
 		i := at(0, r+k)
 		if r == 0 {
 			h[i] = 0
@@ -144,6 +152,9 @@ func (ba *BandedAligner) Extend(ref, query dna.Seq) align.Result {
 		}
 		if hi > n {
 			hi = n
+		}
+		if hi >= lo {
+			cells += hi - lo + 1
 		}
 		for r := lo; r <= hi; r++ {
 			c := r - q + k
@@ -201,6 +212,7 @@ func (ba *BandedAligner) Extend(ref, query dna.Seq) align.Result {
 			}
 		}
 	}
+	ba.cells = cells
 	return ba.traceback(ref, query, int(bestScore), bestQ, bestC)
 }
 
