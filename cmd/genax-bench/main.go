@@ -52,6 +52,8 @@ func run() int {
 		"run the workload through every extension engine, print the comparison, and write BENCH_extend.json")
 	compareSeed := flag.Bool("compare-seed", false,
 		"run the workload through the per-probe and rolling seed paths plus serial/parallel index builds, print the comparison, and write BENCH_seed.json")
+	workers := flag.Int("workers", 0,
+		"worker count for the parallel index build measured by -compare-seed (0 = GOMAXPROCS); the recorded BENCH_seed.json speedup is labeled with this count")
 	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -86,6 +88,7 @@ func run() int {
 	}
 	spec.Engine = core.Engine(*engine)
 	spec.IndexCacheDir = *indexCache
+	spec.IndexWorkers = *workers
 
 	if *compareEngines {
 		if code := runCompareEngines(spec); code != 0 {

@@ -2,28 +2,42 @@
 // multichecker over the analyzers in internal/lint that enforce, at
 // compile time, the invariants the runtime tests only sample —
 //
-//	hotpath      //genax:hotpath functions contain no heap-allocating
-//	             constructs (defer, closures, make/new, map/slice
-//	             literals, fmt/strings calls, interface boxing)
-//	determinism  the deterministic kernel packages (core, pipeline, seed,
-//	             silla, sillax, extend, align) contain no map iteration,
-//	             wall-clock reads, unseeded math/rand, or multi-channel
-//	             selects
-//	invariants   no silently dropped error results; exported kernel entry
-//	             points bound-check their edit-distance / segment-index
-//	             parameters
+//	hotpath        //genax:hotpath functions contain no heap-allocating
+//	               constructs (defer, closures, make/new, map/slice
+//	               literals, fmt/strings calls, interface boxing)
+//	determinism    the deterministic kernel packages (core, pipeline, seed,
+//	               silla, sillax, extend, align, bitsilla, genasm) contain
+//	               no map iteration, wall-clock reads, unseeded math/rand,
+//	               or multi-channel selects
+//	invariants     no silently dropped error results; exported kernel entry
+//	               points bound-check their edit-distance / segment-index
+//	               parameters
+//	borrow         slices returned by //genax:borrowed functions never
+//	               escape or mutate their owner's storage (no heap stores,
+//	               goroutine/closure captures, appends, channel sends, or
+//	               unannotated returns)
+//	mergecomplete  Merge methods in kernel packages fold every field or
+//	               mark it //genax:nomerge
+//	stagecontract  internal/pipeline keeps channels bounded, goroutines
+//	               WaitGroup-tracked or context-bounded, and pointer sends
+//	               traceable to a credit acquire
 //
 // Usage:
 //
 //	go run ./cmd/genaxvet ./...
 //	go run ./cmd/genaxvet -tests=false ./internal/seed/...
+//	go run ./cmd/genaxvet -json ./... > findings.json
 //
 // Exit status is 1 when any diagnostic is reported, 2 on driver errors.
-// CI runs it as a required gate; see DESIGN.md ("Static analysis &
-// enforced invariants") for the annotation contract.
+// With -json, findings are emitted as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout (empty array when
+// clean) so CI can annotate. CI runs it as a required gate; see
+// DESIGN.md ("Static analysis & enforced invariants") for the annotation
+// contract.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -33,24 +47,31 @@ import (
 	"strings"
 
 	"genax/internal/lint/analysis"
+	"genax/internal/lint/borrow"
 	"genax/internal/lint/determinism"
 	"genax/internal/lint/hotpath"
 	"genax/internal/lint/invariants"
 	"genax/internal/lint/load"
+	"genax/internal/lint/mergecomplete"
+	"genax/internal/lint/stagecontract"
 )
 
 var analyzers = []*analysis.Analyzer{
 	hotpath.Analyzer,
 	determinism.Analyzer,
 	invariants.Analyzer,
+	borrow.Analyzer,
+	mergecomplete.Analyzer,
+	stagecontract.Analyzer,
 }
 
 func main() {
 	tests := flag.Bool("tests", true, "also analyze test files")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON ({file,line,col,analyzer,message}) on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: genaxvet [-tests=false] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: genaxvet [-tests=false] [-json] [packages]\n\nanalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -65,6 +86,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genaxvet: %v\n", err)
 		os.Exit(2)
+	}
+
+	// Pre-pass: register every //genax:borrowed annotation before any
+	// package is analyzed, so the borrow analyzer resolves cross-package
+	// calls (pipeline using seed.Lookup) regardless of analysis order.
+	for _, pkg := range pkgs {
+		borrow.Collect(pkg.Info, pkg.Files)
 	}
 
 	type finding struct {
@@ -109,22 +137,49 @@ func main() {
 		return a.message < b.message
 	})
 	cwd, _ := os.Getwd()
-	seen := make(map[string]bool)
-	n := 0
-	for _, f := range findings {
-		name := f.pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
+		return name
+	}
+
+	type jsonFinding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	seen := make(map[string]bool)
+	jsonFindings := []jsonFinding{}
+	n := 0
+	for _, f := range findings {
+		name := relName(f.pos.Filename)
 		line := fmt.Sprintf("%s:%d:%d: %s (%s)", name, f.pos.Line, f.pos.Column, f.message, f.analyzer)
 		if seen[line] {
 			continue
 		}
 		seen[line] = true
-		fmt.Println(line)
+		if *jsonOut {
+			jsonFindings = append(jsonFindings, jsonFinding{
+				File: name, Line: f.pos.Line, Col: f.pos.Column,
+				Analyzer: f.analyzer, Message: f.message,
+			})
+		} else {
+			fmt.Println(line)
+		}
 		n++
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonFindings); err != nil {
+			fmt.Fprintf(os.Stderr, "genaxvet: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if n > 0 {
 		fmt.Fprintf(os.Stderr, "genaxvet: %d finding(s)\n", n)

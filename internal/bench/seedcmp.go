@@ -65,22 +65,38 @@ func CompareSeed(spec WorkloadSpec) (SeedComparison, error) {
 		return SeedComparison{}, fmt.Errorf("bench: workload produced no reads")
 	}
 	cfg := CoreConfig(spec)
-	out := SeedComparison{Reads: len(reads), IndexBuildWorkers: runtime.GOMAXPROCS(0)}
+	workers := spec.ResolveIndexWorkers()
+	out := SeedComparison{Reads: len(reads), IndexBuildWorkers: workers}
 
+	// An untimed warmup build plus a GC before each timed build keeps heap
+	// growth and collection pressure out of the serial-vs-parallel ratio
+	// (the first build on a cold heap can be several times slower than
+	// either steady-state path).
+	if _, err := seed.BuildSegmentedIndexWith(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen, 1); err != nil {
+		return SeedComparison{}, err
+	}
+	runtime.GC()
 	t0 := time.Now()
 	serial, err := seed.BuildSegmentedIndexWith(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen, 1)
 	if err != nil {
 		return SeedComparison{}, err
 	}
 	out.IndexBuildSerial = time.Since(t0)
+	// Keep only the digest: retaining the serial index across the second
+	// timed build would make every GC during it scan a full extra index,
+	// penalizing whichever build runs second.
+	serialHash := serial.Hash()
+	serial = nil
+	_ = serial
+	runtime.GC()
 	t0 = time.Now()
-	parallel, err := seed.BuildSegmentedIndexWith(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen, 0)
+	parallel, err := seed.BuildSegmentedIndexWith(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen, workers)
 	if err != nil {
 		return SeedComparison{}, err
 	}
 	out.IndexBuildParallel = time.Since(t0)
 	out.IndexHash = parallel.Hash()
-	out.IndexHashMatch = serial.Hash() == out.IndexHash
+	out.IndexHashMatch = serialHash == out.IndexHash
 	if out.IndexBuildParallel > 0 {
 		out.IndexBuildSpeedup = float64(out.IndexBuildSerial) / float64(out.IndexBuildParallel)
 	}

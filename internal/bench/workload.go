@@ -6,6 +6,8 @@
 package bench
 
 import (
+	"runtime"
+
 	"genax/internal/core"
 	"genax/internal/dna"
 	"genax/internal/indexio"
@@ -35,6 +37,19 @@ type WorkloadSpec struct {
 	// (see ApplyIndexCache): the first build writes the file, every later
 	// run loads it instead of rebuilding.
 	IndexCacheDir string
+	// IndexWorkers is the worker count for the parallel index build that
+	// CompareSeed measures against the serial build (0 = GOMAXPROCS).
+	IndexWorkers int
+}
+
+// ResolveIndexWorkers returns the effective parallel-build worker count —
+// the number CompareSeed records, so the recorded speedup is labeled with
+// the parallelism that actually ran rather than a flag default.
+func (w WorkloadSpec) ResolveIndexWorkers() int {
+	if w.IndexWorkers > 0 {
+		return w.IndexWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultWorkload is the standard experiment input.

@@ -1,0 +1,12 @@
+package borrow_test
+
+import (
+	"testing"
+
+	"genax/internal/lint/analysistest"
+	"genax/internal/lint/borrow"
+)
+
+func TestBorrow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), borrow.Analyzer, "borrowtest")
+}

@@ -1,0 +1,130 @@
+// Package borrowtest is the golden contract matrix for the borrow
+// analyzer: an index type lending views of a shared table, with one
+// function per legal and illegal way of handling the loan.
+package borrowtest
+
+// index mimics seed.SegmentIndex: a shared table handing out windows of
+// its backing store.
+type index struct {
+	positions []int32
+	start     []int32
+}
+
+// Lookup returns a window of the shared position table.
+//
+//genax:borrowed
+func (ix *index) Lookup(km int) []int32 {
+	return ix.positions[ix.start[km]:ix.start[km+1]]
+}
+
+type sink struct {
+	held []int32
+}
+
+var global []int32
+
+func storeField(ix *index, s *sink) {
+	h := ix.Lookup(0)
+	s.held = h // want `borrowed slice stored to a struct field`
+}
+
+func storeGlobal(ix *index) {
+	global = ix.Lookup(1) // want `borrowed slice stored to package-level variable`
+}
+
+func storeElement(ix *index, table [][]int32) {
+	table[0] = ix.Lookup(0) // want `borrowed slice stored to a container element`
+}
+
+func capture(ix *index) func() int32 {
+	h := ix.Lookup(0)
+	return func() int32 { // want `captured by closure`
+		return h[0]
+	}
+}
+
+func spawn(ix *index, done chan struct{}) {
+	h := ix.Lookup(0)
+	go func() { // want `captured by goroutine`
+		_ = h[0]
+		close(done)
+	}()
+}
+
+func appendTo(ix *index) {
+	h := ix.Lookup(0)
+	h = append(h, 7) // want `append to a borrowed slice`
+	_ = h
+}
+
+func send(ix *index, ch chan []int32) {
+	ch <- ix.Lookup(0) // want `sent on a channel`
+}
+
+func ret(ix *index) []int32 {
+	return ix.Lookup(0) // want `borrowed slice returned from ret`
+}
+
+// retBorrowed re-lends the view under its own annotation, so the return
+// is the contract, not a leak.
+//
+//genax:borrowed
+func retBorrowed(ix *index) []int32 {
+	return ix.Lookup(0)
+}
+
+func mutate(ix *index) {
+	h := ix.Lookup(0)
+	h[0] = 9 // want `write through a borrowed slice`
+}
+
+// window shows the legal uses: reslicing stays in-frame, and a scalar
+// element copied out of the view carries no reference.
+func window(ix *index) int32 {
+	h := ix.Lookup(0)
+	w := h[1:]
+	return w[0]
+}
+
+func sum(v []int32) int32 {
+	var t int32
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// reborrow passes the view down a call: the callee holds the same
+// transient loan the caller does, checked in its own frame.
+func reborrow(ix *index) int32 {
+	return sum(ix.Lookup(0))
+}
+
+type lane struct {
+	ix  *index
+	buf []int32
+}
+
+// refresh caches a borrowed view in the lane's own slot: legal only
+// because refresh is itself annotated and stores through its receiver
+// (the arena pattern — the owner reclaiming its scratch).
+//
+//genax:borrowed
+func (l *lane) refresh(src *index) []int32 {
+	l.buf = src.Lookup(0)
+	return l.buf
+}
+
+// leak is refresh without the annotation: the same store now outlives
+// the frame's contract.
+func (l *lane) leak(src *index) {
+	l.buf = src.Lookup(0) // want `borrowed slice stored to a struct field`
+}
+
+//genax:borrowed
+func badAnnotation() int { return 0 } // want `returns no reference type`
+
+func misplaced(ix *index) {
+	//genax:borrowed want `misplaced //genax:borrowed directive`
+	_ = ix
+}

@@ -1,0 +1,15 @@
+package mergecomplete_test
+
+import (
+	"testing"
+
+	"genax/internal/lint/analysistest"
+	"genax/internal/lint/mergecomplete"
+)
+
+func TestMergeComplete(t *testing.T) {
+	// The rule applies inside the declared kernel packages and nowhere
+	// else: otherpkg holds the same dropped field with no expectations.
+	analysistest.Run(t, analysistest.TestData(), mergecomplete.Analyzer,
+		"genax/internal/pipeline", "otherpkg")
+}

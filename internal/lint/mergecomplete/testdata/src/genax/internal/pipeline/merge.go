@@ -1,0 +1,97 @@
+// Package pipeline (testdata) is the golden matrix for the mergecomplete
+// analyzer; the import path impersonates the real kernel package so the
+// analyzer's scoping applies.
+package pipeline
+
+// Counters drops a field from its Merge: the silent-zero bug the
+// analyzer exists for.
+type Counters struct {
+	Hits   int64
+	Misses int64 // want `Misses`
+}
+
+func (c *Counters) Merge(o Counters) {
+	c.Hits += o.Hits
+}
+
+// Complete folds every field.
+type Complete struct {
+	A, B int64
+}
+
+func (c *Complete) Merge(o Complete) {
+	c.A += o.A
+	c.B += o.B
+}
+
+// Excluded carries the directive on its per-window field.
+type Excluded struct {
+	Work int64
+	// Window is a per-window tally folded elsewhere.
+	//
+	//genax:nomerge
+	Window int64
+}
+
+func (e *Excluded) Merge(o Excluded) {
+	e.Work += o.Work
+}
+
+// leg/outer exercise flattening through arrays of same-package structs:
+// the loop folds Routed but forgets Dropped.
+type leg struct {
+	Routed  int64
+	Dropped int64 // want `Legs\.Dropped`
+}
+
+type outer struct {
+	Legs [4]leg
+}
+
+func (o *outer) Merge(v outer) {
+	for i := range o.Legs {
+		o.Legs[i].Routed += v.Legs[i].Routed
+	}
+}
+
+// subtree shows whole-ancestor coverage: passing v.Inner to a call covers
+// every leaf under Inner.
+type inner struct {
+	X, Y int64
+}
+
+func (n *inner) Merge(o inner) {
+	n.X += o.X
+	n.Y += o.Y
+}
+
+type subtree struct {
+	Inner inner
+	Z     int64
+}
+
+func (s *subtree) Merge(o subtree) {
+	s.Inner.Merge(o.Inner)
+	s.Z += o.Z
+}
+
+// delegator consumes the argument whole: full delegation, nothing to
+// prove here (the delegate is checked on its own).
+type delegator struct {
+	N int64
+}
+
+func (d *delegator) merge(o delegator) {
+	d.N += o.N
+}
+
+func (d *delegator) Merge(o delegator) { d.merge(o) }
+
+// notMerge has the wrong shape (two parameters) and is not a fold.
+type notMerge struct {
+	N int64
+}
+
+func (m *notMerge) Merge(o notMerge, scale int64) {
+	m.N += o.N * scale
+}

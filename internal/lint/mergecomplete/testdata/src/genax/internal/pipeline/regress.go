@@ -1,0 +1,38 @@
+// regress.go pins the real fix in internal/pipeline/stats.go: Stats
+// splits per-window outcome tallies (folded by emitWindow/emitStream)
+// from lane-local work counters (folded by merge). The per-window fields
+// carry //genax:nomerge; everything else must flow through merge.
+package pipeline
+
+type routing struct {
+	Routed, Accepted, FellThrough int64
+}
+
+func (r *routing) Merge(o routing) {
+	r.Routed += o.Routed
+	r.Accepted += o.Accepted
+	r.FellThrough += o.FellThrough
+}
+
+type stats struct {
+	// Per-window outcome tallies, folded as each window completes —
+	// never by merge.
+	//
+	//genax:nomerge
+	Reads, Aligned, ExactReads int
+	// Identity of the index, set once per run, not a sum.
+	//
+	//genax:nomerge
+	Segments     int
+	IndexLookups int64
+	SeedsEmitted int64
+	Routing      routing
+}
+
+func (t *stats) merge(s stats) {
+	t.IndexLookups += s.IndexLookups
+	t.SeedsEmitted += s.SeedsEmitted
+	t.Routing.Merge(s.Routing)
+}
+
+func (t *stats) Merge(s stats) { t.merge(s) }

@@ -1,0 +1,13 @@
+// Package otherpkg holds the same dropped-field shape as the kernel
+// testdata with no expectations: the analyzer is scoped to the declared
+// kernel packages and must stay silent here.
+package otherpkg
+
+type counters struct {
+	Hits   int64
+	Misses int64
+}
+
+func (c *counters) Merge(o counters) {
+	c.Hits += o.Hits
+}

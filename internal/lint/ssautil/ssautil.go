@@ -1,0 +1,418 @@
+// Package ssautil is the shared dataflow layer under the genaxvet
+// analyzers that reason about values instead of syntax (borrow,
+// stagecontract). It builds, per function, a pruned SSA-style value graph:
+// every local variable's assignment sites are collected into def-use
+// chains, and queries over the graph — taint propagation from designated
+// source expressions, origin classification of a value — are answered by a
+// monotone fixed point over those chains. Control flow is joined
+// conservatively (a variable is tainted if any of its reaching definitions
+// is), which can only over-approximate: the analyzers built on top never
+// miss an escape because of a branch, they at worst ask for a copy that a
+// path-sensitive analysis could have proven unnecessary.
+//
+// The package depends only on go/ast and go/types, like the rest of the
+// vendored analysis core, so it runs in the hermetic build environment;
+// porting an analyzer to the upstream golang.org/x/tools/go/ssa layer
+// replaces these queries one for one.
+package ssautil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Func is the per-function value graph: for every local object, the
+// expressions assigned to it, plus the range statements that bind it.
+type Func struct {
+	Body ast.Node
+	Info *types.Info
+
+	// defs maps each assigned local object to its definition records.
+	defs map[types.Object][]def
+	// params holds parameters and named results (and the method receiver),
+	// which enter the frame from outside.
+	params map[types.Object]bool
+}
+
+// def is one reaching definition: the assigned expression, or the range
+// operand when the object is a range key/value binding.
+type def struct {
+	rhs ast.Expr
+	// rangeOver marks rhs as the operand of a range statement binding this
+	// object as its value (key bindings over slices are ints and carry no
+	// reference, so only value bindings are recorded; a range key over a
+	// channel is the received element and is recorded too).
+	rangeOver bool
+}
+
+// New builds the value graph of one function given its declaration. decl
+// may be an *ast.FuncDecl or *ast.FuncLit.
+func New(info *types.Info, decl ast.Node) *Func {
+	f := &Func{Info: info, defs: make(map[types.Object][]def), params: make(map[types.Object]bool)}
+	var typ *ast.FuncType
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		f.Body = d.Body
+		typ = d.Type
+		if d.Recv != nil {
+			f.addParams(d.Recv)
+		}
+	case *ast.FuncLit:
+		f.Body = d.Body
+		typ = d.Type
+	default:
+		f.Body = decl
+	}
+	if typ != nil {
+		f.addParams(typ.Params)
+		if typ.Results != nil {
+			f.addParams(typ.Results)
+		}
+	}
+	if f.Body != nil {
+		f.collect(f.Body)
+	}
+	return f
+}
+
+func (f *Func) addParams(fl *ast.FieldList) {
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := f.Info.Defs[name]; obj != nil {
+				f.params[obj] = true
+			}
+		}
+	}
+}
+
+// IsParam reports whether obj is a parameter, named result, or the
+// receiver of the function.
+func (f *Func) IsParam(obj types.Object) bool { return f.params[obj] }
+
+// collect records every assignment and range binding in the body.
+func (f *Func) collect(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			f.collectAssign(n.Lhs, n.Rhs)
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				f.collectAssign(lhs, vs.Values)
+			}
+		case *ast.RangeStmt:
+			if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" {
+				if obj := f.Info.Defs[v]; obj != nil {
+					f.defs[obj] = append(f.defs[obj], def{rhs: n.X, rangeOver: true})
+				} else if obj := f.Info.Uses[v]; obj != nil {
+					f.defs[obj] = append(f.defs[obj], def{rhs: n.X, rangeOver: true})
+				}
+			}
+			if k, ok := n.Key.(*ast.Ident); ok && k.Name != "_" {
+				// Range keys over channels are the received element.
+				if t := f.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						if obj := f.Info.Defs[k]; obj != nil {
+							f.defs[obj] = append(f.defs[obj], def{rhs: n.X, rangeOver: true})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *Func) collectAssign(lhs, rhs []ast.Expr) {
+	record := func(l ast.Expr, d def) {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := f.Info.Defs[id]
+		if obj == nil {
+			obj = f.Info.Uses[id]
+		}
+		if obj != nil {
+			f.defs[obj] = append(f.defs[obj], d)
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			record(lhs[i], def{rhs: rhs[i]})
+		}
+		return
+	}
+	if len(rhs) == 1 {
+		// x, y := f()  /  v, ok := <-ch  /  v, ok := m[k]
+		for i := range lhs {
+			record(lhs[i], def{rhs: rhs[0]})
+		}
+	}
+}
+
+// RefLike reports whether values of type t can carry a reference to
+// another value's backing store: slices, pointers, maps, channels,
+// functions, interfaces, type parameters, and any composite containing
+// one. Plain numeric/bool/string types cannot retain a borrow.
+func RefLike(t types.Type) bool {
+	return refLike(t, 0)
+}
+
+func refLike(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return true // unknown or very deep: be conservative
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface, *types.TypeParam:
+		return true
+	case *types.Array:
+		return refLike(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refLike(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Taint is the result of propagating a source predicate through the value
+// graph: the set of local objects that may alias a source value.
+type Taint struct {
+	f        *Func
+	isSource func(*ast.CallExpr) bool
+	objs     map[types.Object]bool
+}
+
+// Taint computes the fixed point of source propagation: an object is
+// tainted when any of its reaching definitions evaluates (possibly through
+// slicing, field selection, composite wrapping, or append) to a value
+// derived from a call matched by isSource.
+func (f *Func) Taint(isSource func(*ast.CallExpr) bool) *Taint {
+	t := &Taint{f: f, isSource: isSource, objs: make(map[types.Object]bool)}
+	for changed := true; changed; {
+		changed = false
+		for obj, defs := range f.defs {
+			if t.objs[obj] || !RefLike(obj.Type()) {
+				continue
+			}
+			for _, d := range defs {
+				if d.rangeOver {
+					// The binding holds one element of the ranged value.
+					if t.Expr(d.rhs) && RefLike(obj.Type()) {
+						t.objs[obj] = true
+						changed = true
+					}
+					continue
+				}
+				if t.Expr(d.rhs) {
+					t.objs[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Obj reports whether the object is tainted.
+func (t *Taint) Obj(obj types.Object) bool { return t.objs[obj] }
+
+// Expr reports whether the expression may evaluate to a tainted value.
+func (t *Taint) Expr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := t.f.Info.Uses[e]
+		if obj == nil {
+			obj = t.f.Info.Defs[e]
+		}
+		return obj != nil && t.objs[obj]
+	case *ast.ParenExpr:
+		return t.Expr(e.X)
+	case *ast.StarExpr:
+		return t.Expr(e.X)
+	case *ast.UnaryExpr:
+		return t.Expr(e.X)
+	case *ast.SliceExpr:
+		return t.Expr(e.X)
+	case *ast.IndexExpr:
+		// Indexing a tainted container yields a tainted value only when
+		// the element can carry the reference.
+		if typ := t.f.Info.TypeOf(e); typ != nil && !RefLike(typ) {
+			return false
+		}
+		return t.Expr(e.X)
+	case *ast.SelectorExpr:
+		if typ := t.f.Info.TypeOf(e); typ != nil && !RefLike(typ) {
+			return false
+		}
+		return t.Expr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if t.Expr(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if t.isSource != nil && t.isSource(e) {
+			return true
+		}
+		// Conversions pass the value through unchanged.
+		if tv, ok := t.f.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return t.Expr(e.Args[0])
+		}
+		// append returns a slice aliasing (or retaining elements of) its
+		// arguments.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := t.f.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				for _, arg := range e.Args {
+					if t.Expr(arg) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Origin classifies where a value entered the current frame from.
+type Origin uint8
+
+const (
+	// OriginFresh covers values constructed in this frame: composite
+	// literals, make/new, and plain call results.
+	OriginFresh Origin = 1 << iota
+	// OriginReceive marks values received from a channel (<-ch or a range
+	// over a channel).
+	OriginReceive
+	// OriginParam marks parameters, named results, and the receiver.
+	OriginParam
+	// OriginUnknown marks values the graph cannot classify (package-level
+	// state, field loads, unresolved identifiers).
+	OriginUnknown
+)
+
+// Has reports whether the set contains o.
+func (s Origin) Has(o Origin) bool { return s&o != 0 }
+
+// Origins reports every origin a value expression can be traced to
+// through the function's def-use chains.
+func (f *Func) Origins(e ast.Expr) Origin {
+	return f.origins(e, make(map[types.Object]bool))
+}
+
+func (f *Func) origins(e ast.Expr, seen map[types.Object]bool) Origin {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := f.Info.Uses[e]
+		if obj == nil {
+			obj = f.Info.Defs[e]
+		}
+		if obj == nil {
+			return OriginUnknown
+		}
+		return f.objOrigins(obj, seen)
+	case *ast.ParenExpr:
+		return f.origins(e.X, seen)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return OriginReceive
+		}
+		return f.origins(e.X, seen)
+	case *ast.StarExpr:
+		return f.origins(e.X, seen)
+	case *ast.IndexExpr:
+		return f.origins(e.X, seen)
+	case *ast.SliceExpr:
+		return f.origins(e.X, seen)
+	case *ast.SelectorExpr:
+		// A field load x.f: classify by the root value.
+		return f.origins(e.X, seen)
+	case *ast.CompositeLit:
+		return OriginFresh
+	case *ast.CallExpr:
+		return OriginFresh
+	}
+	return OriginUnknown
+}
+
+func (f *Func) objOrigins(obj types.Object, seen map[types.Object]bool) Origin {
+	if f.params[obj] {
+		return OriginParam
+	}
+	if seen[obj] {
+		return 0
+	}
+	seen[obj] = true
+	defs := f.defs[obj]
+	if len(defs) == 0 {
+		return OriginUnknown
+	}
+	var out Origin
+	for _, d := range defs {
+		if d.rangeOver {
+			// Ranging over a channel receives; ranging over anything else
+			// reads elements of the ranged value.
+			if t := f.Info.TypeOf(d.rhs); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					out |= OriginReceive
+					continue
+				}
+			}
+			out |= f.origins(d.rhs, seen)
+			continue
+		}
+		out |= f.origins(d.rhs, seen)
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group contains the given
+// //genax:* directive as a stand-alone comment line.
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the *types.Func a call statically invokes, or nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

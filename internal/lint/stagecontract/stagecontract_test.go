@@ -1,0 +1,15 @@
+package stagecontract_test
+
+import (
+	"testing"
+
+	"genax/internal/lint/analysistest"
+	"genax/internal/lint/stagecontract"
+)
+
+func TestStageContract(t *testing.T) {
+	// The contract applies inside genax/internal/pipeline and nowhere
+	// else: otherpkg holds the same shapes with no expectations.
+	analysistest.Run(t, analysistest.TestData(), stagecontract.Analyzer,
+		"genax/internal/pipeline", "otherpkg")
+}

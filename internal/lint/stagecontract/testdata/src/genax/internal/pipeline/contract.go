@@ -1,0 +1,101 @@
+// Package pipeline (testdata) is the golden matrix for the stagecontract
+// analyzer; the import path impersonates the real pipeline package so the
+// contract applies.
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+type batch struct{ n int }
+
+type pool struct {
+	free chan *batch
+	wg   sync.WaitGroup
+}
+
+func unbounded() chan int {
+	return make(chan int) // want `unbounded make\(chan int\)`
+}
+
+func bounded() chan int {
+	return make(chan int, 4)
+}
+
+// signal channels carry no data and are closed for broadcast: exempt.
+func signal() chan struct{} {
+	return make(chan struct{})
+}
+
+func spawnBad() {
+	go func() { // want `unaccounted goroutine`
+		println("x")
+	}()
+}
+
+func spawnTracked(p *pool) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		println("x")
+	}()
+}
+
+func worker(ctx context.Context) { _ = ctx }
+
+func spawnCtx(ctx context.Context) {
+	go worker(ctx)
+}
+
+// trackedWorker declares its accounting at the top of its own body, so a
+// bare `go trackedWorker(p)` is visible as WaitGroup-tracked.
+func trackedWorker(p *pool) {
+	defer p.wg.Done()
+	println("x")
+}
+
+func spawnTrackedDecl(p *pool) {
+	p.wg.Add(1)
+	go trackedWorker(p)
+}
+
+// mint is the one legal fresh-value send: the constructor seeding the
+// credit pool it just made.
+func mint() *pool {
+	p := &pool{}
+	p.free = make(chan *batch, 4)
+	for i := 0; i < 4; i++ {
+		p.free <- &batch{}
+	}
+	return p
+}
+
+// fabricate conjures a credit outside the constructor: capacity the
+// channel bound does not account for.
+func fabricate(p *pool) {
+	p.free <- &batch{} // want `not traceable to a credit acquire`
+}
+
+// recirculate re-circulates an acquired credit downstream.
+func recirculate(p *pool, out chan *batch) {
+	b := <-p.free
+	out <- b
+}
+
+// handoff forwards a credit the caller already holds.
+func handoff(out chan *batch, b *batch) {
+	out <- b
+}
+
+// drain ranges the upstream stage: every received batch is an acquire.
+func drain(in chan *batch, out chan *batch) {
+	for b := range in {
+		out <- b
+	}
+}
+
+// valueSend copies: value-element channels are outside the credit ledger.
+func valueSend(out chan int) {
+	out <- 42
+}

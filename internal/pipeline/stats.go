@@ -10,13 +10,21 @@ import (
 // tallies and are partition-independent: the same reads produce the same
 // totals no matter how many lanes ran or how batches interleaved.
 type Stats struct {
+	// Reads, Aligned and ExactReads are per-window outcome tallies, folded
+	// by emitWindow/emitStream as each window completes — never by merge,
+	// which only folds lane-local work counters.
+	//
+	//genax:nomerge
 	Reads, Aligned, ExactReads int
-	Segments                   int
-	IndexLookups, CAMLookups   int64
-	SeedsEmitted, HitsEmitted  int64
-	Extensions                 int64
-	ExtensionCycles            int64
-	ReRuns                     int64
+	// Segments is an identity of the index, set once per run, not a sum.
+	//
+	//genax:nomerge
+	Segments                  int
+	IndexLookups, CAMLookups  int64
+	SeedsEmitted, HitsEmitted int64
+	Extensions                int64
+	ExtensionCycles           int64
+	ReRuns                    int64
 	// Routing is the cascade's per-leg histogram (extensions routed /
 	// accepted / fell-through); all-zero for non-cascading engines.
 	Routing extend.Routing

@@ -253,8 +253,10 @@ func (si *SegmentIndex) AppendRuns(kmers []dna.Kmer, counts []int32) ([]dna.Kmer
 }
 
 // PositionTable returns the whole position table: every occurrence list
-// concatenated in k-mer order. BORROW: the slice is the index's backing
-// store — read-only, like Lookup results.
+// concatenated in k-mer order. The slice is the index's backing store —
+// read-only, like Lookup results.
+//
+//genax:borrowed
 func (si *SegmentIndex) PositionTable() []int32 { return si.positions }
 
 // K returns the k-mer length.
@@ -270,6 +272,7 @@ func (si *SegmentIndex) K() int { return si.codec.K() }
 // scratch first — see Seeder.intersect, which delta-normalizes into its
 // inBuf before any strategy runs.
 //
+//genax:borrowed
 //genax:hotpath
 func (si *SegmentIndex) Lookup(km dna.Kmer) []int32 {
 	if si.presence[km>>6]&(1<<(km&63)) == 0 {
@@ -282,6 +285,7 @@ func (si *SegmentIndex) Lookup(km dna.Kmer) []int32 {
 // the full start table. It is the pre-overhaul probe kept for the
 // ScanPerProbe baseline that -compare-seed measures against.
 //
+//genax:borrowed
 //genax:hotpath
 func (si *SegmentIndex) lookupDense(km dna.Kmer) []int32 {
 	return si.positions[si.start[km]:si.start[km+1]]
@@ -291,6 +295,8 @@ func (si *SegmentIndex) lookupDense(km dna.Kmer) []int32 {
 // false when the window does not fit in the read. The returned slice is
 // subject to the same borrow contract as Lookup: it aliases the shared
 // position table and must not be mutated.
+//
+//genax:borrowed
 func (si *SegmentIndex) LookupAt(read dna.Seq, pos int) (hits []int32, ok bool) {
 	km, ok := si.codec.Encode(read, pos)
 	if !ok {

@@ -157,6 +157,7 @@ func (sd *Seeder) adopt() { sd.live ^= 1 }
 // the dense table. Both modes charge IndexLookups identically — the model
 // counts one table access per in-bounds window either way.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
 	if sd.perProbe {
@@ -177,6 +178,7 @@ func (sd *Seeder) lookup(read dna.Seq, q int) ([]int32, bool) {
 // hitsAt is lookup without the IndexLookups charge, for re-reading a window
 // that was already charged (rmem's probe winner).
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) hitsAt(read dna.Seq, q int) []int32 {
 	if sd.perProbe {
@@ -200,6 +202,7 @@ func (sd *Seeder) hitsAt(read dna.Seq, q int) []int32 {
 // cheaper (optimization two), and — with binary search disabled — streams
 // oversized lists through the CAM in chunks.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) intersect(cur []int32, raw []int32, delta int32) []int32 {
 	incoming := sd.inBuf[:0]
@@ -260,6 +263,7 @@ func minOf(vs ...int) int {
 // length and the candidate positions (local, normalized to p). A length
 // below k means the pivot's own window had no hits.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 	k := sd.si.K()
@@ -322,6 +326,7 @@ func (sd *Seeder) rmem(read dna.Seq, p int) (int, []int32) {
 // refine runs the stride-halving phase (optimization two) to pin the exact
 // RMEM end between last+k and last+2k, then returns the match.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) {
 	k := sd.si.K()
@@ -352,6 +357,7 @@ func (sd *Seeder) refine(read dna.Seq, p, last int, cur []int32) (int, []int32) 
 // scratch (the hit-list arena): they are valid only until the next Seed
 // call on this Seeder.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) Seed(read dna.Seq) []Seed {
 	sd.Stats.Reads++
@@ -410,6 +416,7 @@ func (sd *Seeder) Seed(read dna.Seq) []Seed {
 // the old backing array — still correct, since emitted positions are never
 // rewritten, and the grown arena makes the next read allocation-free.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) emit(out []Seed, start, end int, cur []int32) []Seed {
 	a := sd.arena
@@ -433,6 +440,7 @@ func (sd *Seeder) emit(out []Seed, start, end int, cur []int32) []Seed {
 // whole-read exact match and seed-extension can be skipped entirely. On
 // success it returns the lane's seed buffer holding the single seed.
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) exactMatch(read dna.Seq) ([]Seed, bool) {
 	k := sd.si.K()
@@ -498,6 +506,7 @@ func (sd *Seeder) exactMatch(read dna.Seq) ([]Seed, bool) {
 // naiveSeeds is the baseline without SMEM filtering: every stride-k window
 // forwards all of its hits to extension (Fig 16a's "naive hash" bar).
 //
+//genax:borrowed
 //genax:hotpath
 func (sd *Seeder) naiveSeeds(read dna.Seq) []Seed {
 	k := sd.si.K()
