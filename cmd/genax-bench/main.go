@@ -21,7 +21,12 @@
 // heap allocations per read after the experiment and exits non-zero when
 // they exceed N; -stages prints the per-stage wall-clock and
 // queue-occupancy breakdown of the staged pipeline (the Fig 11 seed/extend
-// lane balance).
+// lane balance); -compare-index aligns the workload over one v2 index
+// cache through the heap, zero-copy mapped, and sharded (bounded
+// residency) backings and writes cold-start/peak-RSS/result-hash rows to
+// BENCH_index.json; -mmap maps the -indexcache file instead of
+// heap-loading it, and -shards partitions written caches into shard
+// groups (bounding mapped residency to one group at a time).
 package main
 
 import (
@@ -52,6 +57,12 @@ func run() int {
 		"run the workload through every extension engine, print the comparison, and write BENCH_extend.json")
 	compareSeed := flag.Bool("compare-seed", false,
 		"run the workload through the per-probe and rolling seed paths plus serial/parallel index builds, print the comparison, and write BENCH_seed.json")
+	compareIndex := flag.Bool("compare-index", false,
+		"align the workload over one v2 index cache through the heap, mapped, and sharded backings, print cold-start/peak-RSS/result-hash rows, and write BENCH_index.json")
+	mmapIdx := flag.Bool("mmap", false,
+		"with -indexcache, map the cache file zero-copy (indexio.OpenMapped) instead of heap-loading it; stale or v1 caches are rewritten in the v2 format first")
+	shards := flag.Int("shards", 0,
+		"shard groups for index caches: partitions files written by -indexcache/-compare-index and, with -mmap, bounds table residency to one group at a time (0 = one group; -compare-index defaults to 4)")
 	workers := flag.Int("workers", 0,
 		"worker count for the parallel index build measured by -compare-seed (0 = GOMAXPROCS); the recorded BENCH_seed.json speedup is labeled with this count")
 	pairs := flag.Int("pairs", 2000, "extension pairs for fig14")
@@ -68,7 +79,7 @@ func run() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 && !((*compareEngines || *compareSeed) && flag.NArg() == 0) {
+	if flag.NArg() != 1 && !((*compareEngines || *compareSeed || *compareIndex) && flag.NArg() == 0) {
 		flag.Usage()
 		return 2
 	}
@@ -89,6 +100,8 @@ func run() int {
 	spec.Engine = core.Engine(*engine)
 	spec.IndexCacheDir = *indexCache
 	spec.IndexWorkers = *workers
+	spec.MmapIndex = *mmapIdx
+	spec.Shards = *shards
 
 	if *compareEngines {
 		if code := runCompareEngines(spec); code != 0 {
@@ -97,6 +110,15 @@ func run() int {
 	}
 	if *compareSeed {
 		if code := runCompareSeed(spec); code != 0 {
+			return code
+		}
+	}
+	if *compareIndex {
+		n := *shards
+		if n <= 0 {
+			n = 4
+		}
+		if code := runCompareIndex(spec, n); code != 0 {
 			return code
 		}
 	}
@@ -217,6 +239,43 @@ func runCompareSeed(spec bench.WorkloadSpec) int {
 	}
 	if !cmp.IndexHashMatch {
 		fmt.Fprintf(os.Stderr, "genax-bench: parallel index build diverges from the serial build\n")
+		return 1
+	}
+	if !cmp.MappedMatch {
+		fmt.Fprintf(os.Stderr, "genax-bench: mapped-index results diverge from the heap baseline\n")
+		return 1
+	}
+	return 0
+}
+
+// runCompareIndex aligns the workload over a single v2 cache file through
+// the heap, mapped, and sharded index backings, prints the comparison,
+// writes BENCH_index.json, and fails when any backing's results diverge
+// from the heap baseline or when the mapped cold start does not beat heap
+// deserialization.
+func runCompareIndex(spec bench.WorkloadSpec, shards int) int {
+	cmp, err := bench.CompareIndex(spec, shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-index: %v\n", err)
+		return 1
+	}
+	fmt.Println(cmp)
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-index: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile("BENCH_index.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-index: %v\n", err)
+		return 1
+	}
+	fmt.Println("wrote BENCH_index.json")
+	if !cmp.ResultMatch {
+		fmt.Fprintf(os.Stderr, "genax-bench: mapped/sharded results diverge from the heap baseline\n")
+		return 1
+	}
+	if !cmp.ColdStartGate {
+		fmt.Fprintf(os.Stderr, "genax-bench: mapped cold start did not beat heap deserialization\n")
 		return 1
 	}
 	return 0

@@ -156,6 +156,8 @@ func cmdIndex(args []string) error {
 	refPath := fs.String("ref", "", "reference FASTA")
 	kmer := fs.Int("kmer", 12, "k-mer length")
 	segLen := fs.Int("segment", 1<<20, "segment length (bases)")
+	shards := fs.Int("shards", 0, "partition the cache into N shard groups for bounded-residency streaming (0 = one group)")
+	verify := fs.Bool("verify", false, "check the cache file (checksums, geometry, structure) and exit without building")
 	out := fs.String("out", "auto",
 		`index cache output: "auto" writes the keyed cache file next to -ref (the one align auto-loads), "" skips writing, anything else is an explicit path`)
 	if err := fs.Parse(args); err != nil {
@@ -171,15 +173,6 @@ func cmdIndex(args []string) error {
 	cfg := core.DefaultConfig()
 	cfg.KmerLen = *kmer
 	cfg.SegmentLen = *segLen
-	aligner, err := core.New(ref, cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("reference: %d bp; segments: %d x %d bp (overlap %d); k-mer: %d\n",
-		len(ref), aligner.NumSegments(), cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
-	if *out == "" {
-		return nil
-	}
 	path := *out
 	if path == "auto" {
 		path, err = indexio.CachePath(filepath.Dir(*refPath), ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
@@ -187,7 +180,66 @@ func cmdIndex(args []string) error {
 			return err
 		}
 	}
-	if err := indexio.WriteFile(path, aligner.Index(), ref); err != nil {
+	if *verify {
+		if path == "" {
+			return fmt.Errorf("index: -verify needs a cache path (-out auto or explicit)")
+		}
+		if reason := indexio.Probe(path, ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap); reason != "" {
+			return fmt.Errorf("index: cache %s unusable: %s", path, reason)
+		}
+		// Probe proved the header matches; load fully so every structural
+		// invariant (and the whole-file CRC) is exercised.
+		sx, err := indexio.ReadFile(path, ref)
+		if err != nil {
+			return fmt.Errorf("index: cache %s failed verification: %w", path, err)
+		}
+		v, err := indexio.FileVersion(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("index cache %s OK (v%d, %d segments, hash %016x)\n", path, v, sx.NumSegments(), sx.Hash())
+		return nil
+	}
+	// Probe before building: a cache that already matches the reference,
+	// geometry, and requested shard partition makes the rebuild pure waste;
+	// a present-but-unusable one gets its staleness reason printed instead
+	// of a silent rebuild.
+	if path != "" {
+		reason := indexio.Probe(path, ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
+		if reason == "" {
+			if v, verr := indexio.FileVersion(path); verr != nil {
+				reason = verr.Error()
+			} else if v != indexio.Version {
+				reason = fmt.Sprintf("format version %d (current %d)", v, indexio.Version)
+			} else if m, merr := indexio.OpenMapped(path); merr != nil {
+				reason = merr.Error()
+			} else {
+				numSegs := len(m.Index().Samples)
+				wantGS := indexio.GroupSizeForShards(numSegs, *shards)
+				haveGS := m.ShardGroupSize()
+				_ = m.Close()
+				if numSegs > 0 && haveGS != wantGS {
+					reason = fmt.Sprintf("shard partition mismatch (cache %d segments/group, want %d)", haveGS, wantGS)
+				} else {
+					fmt.Printf("index cache %s up to date, skipping rebuild\n", path)
+					return nil
+				}
+			}
+		}
+		if reason != "" && reason != "no cache file" {
+			fmt.Printf("rebuilding index cache %s: %s\n", path, reason)
+		}
+	}
+	aligner, err := core.New(ref, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference: %d bp; segments: %d x %d bp (overlap %d); k-mer: %d\n",
+		len(ref), aligner.NumSegments(), cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+	if path == "" {
+		return nil
+	}
+	if err := indexio.WriteFileShards(path, aligner.Index(), ref, indexio.GroupSizeForShards(aligner.NumSegments(), *shards)); err != nil {
 		return err
 	}
 	fmt.Printf("wrote index cache %s (hash %016x)\n", path, aligner.Index().Hash())
@@ -222,6 +274,45 @@ func loadIndexCache(mode, refPath string, ref dna.Seq, cfg core.Config) (*seed.S
 	}
 }
 
+// openMappedIndex resolves the -index flag for the -mmap path. Unlike the
+// heap loader there is no silent fallback: the user explicitly asked for
+// the mapped cache, so a missing or mismatched file is fatal with a
+// pointer at `genax index`.
+func openMappedIndex(mode, refPath string, ref dna.Seq, cfg core.Config) (*indexio.Mapped, error) {
+	path := mode
+	switch mode {
+	case "":
+		return nil, fmt.Errorf("align: -mmap needs an index cache (-index auto or an explicit path)")
+	case "auto":
+		var err error
+		path, err = indexio.CachePath(filepath.Dir(refPath), ref, cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m, err := indexio.OpenMapped(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("align: no index cache at %s (run genax index first)", path)
+		}
+		return nil, fmt.Errorf("align: cannot map index cache %s: %w", path, err)
+	}
+	// The mapping is internally consistent; now pin it to the inputs in
+	// hand, exactly like the heap loader's hash and geometry checks.
+	if len(ref) != len(m.Ref()) || m.RefHash() != indexio.RefHash(ref) {
+		_ = m.Close()
+		return nil, fmt.Errorf("align: index cache %s was built from a different reference", path)
+	}
+	if m.K() != cfg.KmerLen || m.SegLen() != cfg.SegmentLen || m.Overlap() != cfg.Overlap {
+		_ = m.Close()
+		return nil, fmt.Errorf("align: index cache %s geometry (k=%d seg=%d overlap=%d) does not match flags (k=%d seg=%d overlap=%d)",
+			path, m.K(), m.SegLen(), m.Overlap(), cfg.KmerLen, cfg.SegmentLen, cfg.Overlap)
+	}
+	fmt.Fprintf(os.Stderr, "genax: mapped index cache %s (%d MiB, %d shard groups)\n",
+		path, m.SizeBytes()>>20, m.NumShardGroups())
+	return m, nil
+}
+
 func cmdAlign(args []string) error {
 	fs := flag.NewFlagSet("align", flag.ExitOnError)
 	refPath := fs.String("ref", "", "reference FASTA")
@@ -234,11 +325,16 @@ func cmdAlign(args []string) error {
 	stream := fs.Bool("stream", false, "align via the streaming pipeline (bounded memory, results emitted as windows complete)")
 	indexFlag := fs.String("index", "auto",
 		`index cache: "auto" loads the genax-index cache next to -ref when present, "" always rebuilds, anything else is an explicit cache path`)
+	mmapFlag := fs.Bool("mmap", false, "open the index cache in place (zero-copy mmap) instead of deserializing it; requires a v2 cache written by genax index")
+	shardsFlag := fs.Int("shards", 0, "with -mmap, bound residency to N shard groups at a time (0 = unbounded); the cache must have been written with a shard partition")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *refPath == "" || *readsPath == "" {
 		return fmt.Errorf("align: -ref and -reads are required")
+	}
+	if *shardsFlag > 0 && !*mmapFlag {
+		return fmt.Errorf("align: -shards requires -mmap (a heap index has no residency to bound)")
 	}
 	ref, refName, err := loadRef(*refPath)
 	if err != nil {
@@ -258,11 +354,38 @@ func cmdAlign(args []string) error {
 	cfg.SegmentLen = *segLen
 	cfg.K = *k
 	cfg.Engine = core.Engine(*engine)
-	cfg.Index, err = loadIndexCache(*indexFlag, *refPath, ref, cfg)
-	if err != nil {
-		return err
+	// The reference the aligner runs against: the FASTA by default, the
+	// cache's own mapped bytes under -mmap (out-of-core operation — the
+	// FASTA copy is released to the GC once it has validated the mapping).
+	alignRef := ref
+	var res *indexio.ShardResidency
+	if *mmapFlag {
+		m, err := openMappedIndex(*indexFlag, *refPath, ref, cfg)
+		if err != nil {
+			return err
+		}
+		// Unmap only after the pipeline has fully drained (deferred past
+		// the AlignBatch/AlignStream returns below) — every table and the
+		// reference itself are views into this mapping.
+		defer m.Close()
+		cfg.Index = m.Index()
+		alignRef = m.Ref()
+		ref = nil
+		if *shardsFlag > 0 {
+			if m.NumShardGroups() <= 1 {
+				fmt.Fprintf(os.Stderr, "genax: -shards %d ignored: cache has a single shard group (rebuild with genax index -shards)\n", *shardsFlag)
+			} else {
+				res = indexio.NewShardResidency(m, *shardsFlag)
+				cfg.Residency = res
+			}
+		}
+	} else {
+		cfg.Index, err = loadIndexCache(*indexFlag, *refPath, ref, cfg)
+		if err != nil {
+			return err
+		}
 	}
-	aligner, err := core.New(ref, cfg)
+	aligner, err := core.New(alignRef, cfg)
 	if err != nil {
 		return err
 	}
@@ -311,6 +434,9 @@ func cmdAlign(args []string) error {
 				fmt.Fprintf(os.Stderr, " %s=%d/%d", l, s.Accepted, s.Routed)
 			}
 			fmt.Fprintln(os.Stderr)
+		}
+		if res != nil {
+			fmt.Fprintln(os.Stderr, res.String())
 		}
 	}
 	return nil

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"genax/internal/core"
+	"genax/internal/dna"
+	"genax/internal/indexio"
+	"genax/internal/seed"
+)
+
+// IndexRun is one index-backing mode's measurement: the cold start (file
+// on disk to ready-to-align aligner), the aligned-workload wall clock, the
+// phase's peak resident set, and the shared result digest. Backing is
+// "heap" (full deserialization via indexio.ReadFile), "mapped" (zero-copy
+// indexio.OpenMapped), or "sharded" (mapped plus a one-group
+// indexio.ShardResidency bound).
+type IndexRun struct {
+	Backing      string        `json:"backing"`
+	ColdStart    time.Duration `json:"cold_start_ns"`
+	Wall         time.Duration `json:"wall_ns"`
+	PeakRSSBytes int64         `json:"peak_rss_bytes"`
+	Aligned      int           `json:"aligned"`
+	IndexLookups int64         `json:"index_lookups"`
+	CAMLookups   int64         `json:"cam_lookups"`
+	ResultHash   uint64        `json:"result_hash"`
+	// MatchesBaseline reports hash and work-counter equality with the
+	// heap-loaded run.
+	MatchesBaseline bool `json:"matches_baseline"`
+	// Residency counters (sharded run only): shard-group admissions,
+	// retirements, and blocked Acquire calls.
+	ResidencyAdmits int `json:"residency_admits,omitempty"`
+	ResidencyDrops  int `json:"residency_drops,omitempty"`
+	ResidencyWaits  int `json:"residency_waits,omitempty"`
+}
+
+// IndexComparison is the -compare-index report: one v2 cache file aligned
+// through all three index backings. The mapped and sharded runs must hash
+// identically to the heap baseline, and the mapped cold start must beat
+// heap deserialization — that pair of gates is the tentpole's acceptance
+// criterion in executable form.
+type IndexComparison struct {
+	Reads       int    `json:"reads"`
+	Segments    int    `json:"segments"`
+	ShardGroups int    `json:"shard_groups"`
+	FileBytes   int64  `json:"file_bytes"`
+	IndexHash   uint64 `json:"index_hash"`
+	// PeakRSSSupported records whether the per-phase VmHWM reset worked;
+	// when false the peak_rss_bytes fields are process-monotone (or zero)
+	// and not comparable across runs.
+	PeakRSSSupported  bool       `json:"peak_rss_supported"`
+	Runs              []IndexRun `json:"runs"`
+	MappedColdSpeedup float64    `json:"mapped_cold_speedup_vs_heap"`
+	ColdStartGate     bool       `json:"mapped_cold_beats_heap"`
+	ResultMatch       bool       `json:"all_backings_match"`
+	ResultMismatch    string     `json:"mismatch,omitempty"`
+}
+
+// indexCompareOrder fixes the measurement sequence: the heap load runs
+// first so the mapped and sharded runs can be checked against it.
+var indexCompareOrder = []string{"heap", "mapped", "sharded"}
+
+// CompareIndex builds the workload's index once, writes it to a temporary
+// v2 cache file partitioned into the requested number of shard groups,
+// then loads and aligns through each backing in turn — heap
+// deserialization, zero-copy mapping, and mapping under a one-group
+// residency bound — measuring cold-start wall time, per-phase peak RSS,
+// and the result digest. Between phases the previous index is dropped and
+// the heap returned to the OS so each phase's watermark is its own.
+func CompareIndex(spec WorkloadSpec, shards int) (IndexComparison, error) {
+	wl := spec.Build()
+	reads := ReadSeqs(wl)
+	if len(reads) == 0 {
+		return IndexComparison{}, fmt.Errorf("bench: workload produced no reads")
+	}
+	cfg := CoreConfig(spec)
+	out := IndexComparison{Reads: len(reads)}
+
+	sx, err := seed.BuildSegmentedIndex(wl.Ref, cfg.SegmentLen, cfg.Overlap, cfg.KmerLen)
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	out.Segments = sx.NumSegments()
+	out.IndexHash = sx.Hash()
+	gs := indexio.GroupSizeForShards(out.Segments, shards)
+	if gs > 0 {
+		out.ShardGroups = (out.Segments + gs - 1) / gs
+	}
+	dir, err := os.MkdirTemp("", "genax-bench-index")
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	path := filepath.Join(dir, "index-v2.gaxi")
+	if err := indexio.WriteFileShards(path, sx, wl.Ref, gs); err != nil {
+		return IndexComparison{}, err
+	}
+	if st, err := os.Stat(path); err == nil {
+		out.FileBytes = st.Size()
+	}
+	// Drop the build-time index before measuring: the heap phase must pay
+	// for its own copy, and the watermark reset below must start from a
+	// heap that does not already hold the tables.
+	sx = nil
+	runtime.GC()
+	debug.FreeOSMemory()
+
+	out.PeakRSSSupported = resetPeakRSS()
+	for _, backing := range indexCompareOrder {
+		run, err := measureIndexRun(spec, wl.Ref, reads, path, backing)
+		if err != nil {
+			return IndexComparison{}, err
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	base := out.Runs[0]
+	out.ResultMatch = true
+	for i := range out.Runs {
+		r := &out.Runs[i]
+		r.MatchesBaseline = r.ResultHash == base.ResultHash &&
+			r.IndexLookups == base.IndexLookups && r.CAMLookups == base.CAMLookups
+		if !r.MatchesBaseline && out.ResultMismatch == "" {
+			out.ResultMatch = false
+			out.ResultMismatch = fmt.Sprintf(
+				"%s (hash %016x, lookups %d/%d) != heap (hash %016x, lookups %d/%d)",
+				r.Backing, r.ResultHash, r.IndexLookups, r.CAMLookups,
+				base.ResultHash, base.IndexLookups, base.CAMLookups)
+		}
+	}
+	mapped := out.Runs[1]
+	if mapped.ColdStart > 0 {
+		out.MappedColdSpeedup = float64(base.ColdStart) / float64(mapped.ColdStart)
+	}
+	out.ColdStartGate = mapped.ColdStart < base.ColdStart
+	return out, nil
+}
+
+// measureIndexRun loads the cache at path through one backing, aligns the
+// whole workload once, and reads the phase's peak RSS. No warmup pass:
+// cold start is the measurement, so the align wall clock deliberately
+// includes the mapped runs' first-touch page faults. All per-phase state
+// is dropped (mapping closed, heap freed back to the OS, watermark
+// rearmed) before returning, so the next phase starts clean.
+func measureIndexRun(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, path, backing string) (IndexRun, error) {
+	cfg := CoreConfig(spec)
+	run := IndexRun{Backing: backing}
+	var m *indexio.Mapped
+	var res *indexio.ShardResidency
+	alignRef := ref
+	start := time.Now()
+	switch backing {
+	case "heap":
+		sx, err := indexio.ReadFile(path, ref)
+		if err != nil {
+			return IndexRun{}, err
+		}
+		cfg.Index = sx
+	case "mapped", "sharded":
+		var err error
+		m, err = indexio.OpenMapped(path)
+		if err != nil {
+			return IndexRun{}, err
+		}
+		cfg.Index = m.Index()
+		// Out-of-core: the aligner's reference is the mapping's own
+		// bytes, no heap copy of the genome.
+		alignRef = m.Ref()
+		if backing == "sharded" {
+			res = indexio.NewShardResidency(m, 1)
+			cfg.Residency = res
+		}
+	default:
+		return IndexRun{}, fmt.Errorf("bench: unknown index backing %q", backing)
+	}
+	aligner, err := core.New(alignRef, cfg)
+	if err != nil {
+		return IndexRun{}, err
+	}
+	run.ColdStart = time.Since(start)
+	start = time.Now()
+	results, stats := aligner.AlignBatch(reads)
+	run.Wall = time.Since(start)
+	run.PeakRSSBytes = peakRSSBytes()
+	run.ResultHash, run.Aligned = digestResults(results)
+	run.IndexLookups, run.CAMLookups = stats.IndexLookups, stats.CAMLookups
+	if res != nil {
+		run.ResidencyAdmits, run.ResidencyDrops, run.ResidencyWaits = res.Stats()
+	}
+	if m != nil {
+		// AlignBatch has returned, so every lane has drained and the
+		// borrowed views are dead — the mapping may be unmapped.
+		if err := m.Close(); err != nil {
+			return IndexRun{}, err
+		}
+	}
+	cfg.Index = nil
+	runtime.GC()
+	debug.FreeOSMemory()
+	resetPeakRSS()
+	return run, nil
+}
+
+func (c IndexComparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "index-backing comparison (%d reads; cache %d MiB, %d segments in %d shard groups)\n",
+		c.Reads, c.FileBytes>>20, c.Segments, c.ShardGroups)
+	fmt.Fprintf(&b, "%-8s %12s %12s %10s %8s %12s %16s %9s\n",
+		"backing", "coldstart", "wall", "peakrss", "aligned", "idxlookups", "resulthash", "=heap")
+	for _, r := range c.Runs {
+		rss := "n/a"
+		if r.PeakRSSBytes > 0 {
+			rss = fmt.Sprintf("%d MiB", r.PeakRSSBytes>>20)
+		}
+		fmt.Fprintf(&b, "%-8s %12v %12v %10s %8d %12d %016x %9v\n",
+			r.Backing, r.ColdStart.Round(time.Microsecond), r.Wall.Round(time.Microsecond),
+			rss, r.Aligned, r.IndexLookups, r.ResultHash, r.MatchesBaseline)
+	}
+	if !c.PeakRSSSupported {
+		b.WriteString("peak RSS: per-phase watermark reset unavailable (non-Linux /proc); values are process-wide\n")
+	}
+	if sharded := c.Runs[len(c.Runs)-1]; sharded.Backing == "sharded" {
+		fmt.Fprintf(&b, "sharded residency: %d admits, %d drops, %d blocked acquires\n",
+			sharded.ResidencyAdmits, sharded.ResidencyDrops, sharded.ResidencyWaits)
+	}
+	fmt.Fprintf(&b, "mapped cold start %.2fx vs heap deserialization (gate passes: %v)\n",
+		c.MappedColdSpeedup, c.ColdStartGate)
+	if c.ResultMatch {
+		b.WriteString("mapped and sharded results and work counters are identical to the heap baseline")
+	} else {
+		b.WriteString("MISMATCH: " + c.ResultMismatch)
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// resetPeakRSS rearms the kernel's peak-RSS watermark (VmHWM) by writing
+// "5" to /proc/self/clear_refs, so the next peakRSSBytes read reports the
+// high-water mark of just the phase that follows instead of the whole
+// process lifetime. It reports whether the reset took: on non-Linux
+// systems (or locked-down /proc) it returns false and callers degrade to
+// recording the monotone process-wide peak, or zero.
+func resetPeakRSS() bool {
+	return os.WriteFile("/proc/self/clear_refs", []byte("5"), 0) == nil
+}
+
+// peakRSSBytes reads VmHWM from /proc/self/status — the process peak
+// resident set in bytes since the last resetPeakRSS. It returns 0 when the
+// counter is unavailable; callers must treat 0 as "not measured", never as
+// a real footprint.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		// "VmHWM:	  123456 kB"
+		fields := strings.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -2,12 +2,15 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"genax/internal/core"
 	"genax/internal/dna"
+	"genax/internal/indexio"
 	"genax/internal/seed"
 )
 
@@ -16,7 +19,10 @@ import (
 // injected instrument, steady-state allocations per read, and the shared
 // result digest — the seed-stage mirror of EngineRun.
 type SeedRun struct {
-	Scan          string        `json:"scan"`
+	Scan string `json:"scan"`
+	// Backing is where the index tables live: "heap" (in-process build)
+	// or "mapped" (zero-copy views over an mmap-ed v2 cache file).
+	Backing       string        `json:"backing"`
 	Wall          time.Duration `json:"wall_ns"`
 	SeedBusy      time.Duration `json:"seed_busy_ns"`
 	AllocsPerRead float64       `json:"allocs_per_read"`
@@ -46,6 +52,13 @@ type SeedComparison struct {
 	IndexHashMatch     bool          `json:"parallel_matches_serial_index"`
 	ResultMatch        bool          `json:"rolling_matches_perprobe"`
 	ResultMismatch     string        `json:"mismatch,omitempty"`
+	// MappedMatch reports the mapped rolling run (zero-copy views over an
+	// mmap-ed v2 cache of the same index) hashing identically — results
+	// and work counters — to the heap per-probe baseline.
+	MappedMatch bool `json:"mapped_matches_heap"`
+	// MappedSeedBusy is mapped-over-heap rolling seed-stage busy time;
+	// near 1.0 means the borrowed views cost nothing over heap slices.
+	MappedSeedBusy float64 `json:"mapped_seed_busy_vs_heap_rolling"`
 }
 
 // seedCompareOrder fixes the measurement sequence (baseline first so the
@@ -55,9 +68,11 @@ var seedCompareOrder = []seed.ScanMode{seed.ScanPerProbe, seed.ScanRolling}
 // CompareSeed times the serial and parallel index builds, then runs the
 // workload through the per-probe and rolling seed paths over the SAME
 // parallel-built index, reporting seed-stage busy time, allocations, work
-// counters, and result digests. This is the acceptance harness for the
-// seed-stage overhaul: same results and same modelled work counts as the
-// old path, at a fraction of the seed time.
+// counters, and result digests. A third run repeats the rolling scan over
+// a zero-copy mapped v2 cache of that index, recording what the borrowed
+// views cost the seed stage relative to heap slices. This is the
+// acceptance harness for the seed-stage overhaul: same results and same
+// modelled work counts as the old path, at a fraction of the seed time.
 func CompareSeed(spec WorkloadSpec) (SeedComparison, error) {
 	wl := spec.Build()
 	reads := ReadSeqs(wl)
@@ -106,11 +121,22 @@ func CompareSeed(spec WorkloadSpec) (SeedComparison, error) {
 		if err != nil {
 			return SeedComparison{}, err
 		}
+		run.Backing = "heap"
 		out.Runs = append(out.Runs, run)
 	}
+	mapped, err := measureMappedSeedRun(spec, wl.Ref, reads, parallel)
+	if err != nil {
+		return SeedComparison{}, err
+	}
+	out.Runs = append(out.Runs, mapped)
 	base, rolling := out.Runs[0], out.Runs[1]
 	for i := range out.Runs {
 		out.Runs[i].MatchesBaseline = out.Runs[i].ResultHash == base.ResultHash
+	}
+	out.MappedMatch = mapped.ResultHash == base.ResultHash &&
+		mapped.IndexLookups == base.IndexLookups && mapped.CAMLookups == base.CAMLookups
+	if rolling.SeedBusy > 0 {
+		out.MappedSeedBusy = float64(mapped.SeedBusy) / float64(rolling.SeedBusy)
 	}
 	out.ResultMatch = rolling.ResultHash == base.ResultHash &&
 		rolling.IndexLookups == base.IndexLookups && rolling.CAMLookups == base.CAMLookups
@@ -127,6 +153,38 @@ func CompareSeed(spec WorkloadSpec) (SeedComparison, error) {
 		out.EndToEndGain = float64(base.Wall) / float64(rolling.Wall)
 	}
 	return out, nil
+}
+
+// measureMappedSeedRun writes idx to a temporary v2 cache file, maps it
+// zero-copy, and measures the rolling scan over the mapped tables — the
+// same measurement as the heap rolling run, with every table access (and
+// the reference itself) going through borrowed views over the mapping.
+func measureMappedSeedRun(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, idx *seed.SegmentedIndex) (SeedRun, error) {
+	dir, err := os.MkdirTemp("", "genax-bench-seed")
+	if err != nil {
+		return SeedRun{}, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	path := filepath.Join(dir, "index-v2.gaxi")
+	if err := indexio.WriteFileShards(path, idx, ref, 0); err != nil {
+		return SeedRun{}, err
+	}
+	m, err := indexio.OpenMapped(path)
+	if err != nil {
+		return SeedRun{}, err
+	}
+	run, err := measureSeedRun(spec, m.Ref(), reads, m.Index(), seed.ScanRolling)
+	// measureSeedRun's aligner is done and dropped, so every lane has
+	// drained and the mapping may be closed before the file is removed.
+	cerr := m.Close()
+	if err != nil {
+		return SeedRun{}, err
+	}
+	if cerr != nil {
+		return SeedRun{}, cerr
+	}
+	run.Backing = "mapped"
+	return run, nil
 }
 
 // measureSeedRun builds an instrumented aligner for one scan mode over a
@@ -172,14 +230,16 @@ func measureSeedRun(spec WorkloadSpec, ref dna.Seq, reads []dna.Seq, idx *seed.S
 func (c SeedComparison) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed-stage comparison (%d reads)\n", c.Reads)
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %8s %12s %16s %9s\n",
-		"scan", "wall", "seedbusy", "allocs/read", "aligned", "idxlookups", "resulthash", "=baseline")
+	fmt.Fprintf(&b, "%-10s %-7s %12s %12s %12s %8s %12s %16s %9s\n",
+		"scan", "backing", "wall", "seedbusy", "allocs/read", "aligned", "idxlookups", "resulthash", "=baseline")
 	for _, r := range c.Runs {
-		fmt.Fprintf(&b, "%-10s %12v %12v %12.2f %8d %12d %016x %9v\n",
-			r.Scan, r.Wall.Round(time.Microsecond), r.SeedBusy.Round(time.Microsecond),
+		fmt.Fprintf(&b, "%-10s %-7s %12v %12v %12.2f %8d %12d %016x %9v\n",
+			r.Scan, r.Backing, r.Wall.Round(time.Microsecond), r.SeedBusy.Round(time.Microsecond),
 			r.AllocsPerRead, r.Aligned, r.IndexLookups, r.ResultHash, r.MatchesBaseline)
 	}
 	fmt.Fprintf(&b, "rolling vs perprobe: seed stage %.2fx, end to end %.2fx\n", c.SeedSpeedup, c.EndToEndGain)
+	fmt.Fprintf(&b, "mapped rolling seed stage: %.2fx of heap rolling busy time; matches baseline: %v\n",
+		c.MappedSeedBusy, c.MappedMatch)
 	fmt.Fprintf(&b, "index build: serial %v, parallel %v on %d workers (%.2fx); hashes match: %v\n",
 		c.IndexBuildSerial.Round(time.Microsecond), c.IndexBuildParallel.Round(time.Microsecond),
 		c.IndexBuildWorkers, c.IndexBuildSpeedup, c.IndexHashMatch)

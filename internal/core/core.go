@@ -93,6 +93,11 @@ type Config struct {
 	// Overlap, and len(ref); New rejects mismatches so a stale cache can
 	// never silently misalign reads.
 	Index *seed.SegmentedIndex
+	// Residency, when non-nil, lets a mapped index bound how many shard
+	// groups of its tables are resident while the seed stage walks the
+	// segments (indexio.ShardResidency). Results are byte-identical with
+	// or without it; see pipeline.Residency.
+	Residency pipeline.Residency
 }
 
 // DefaultConfig mirrors the paper, scaled to a laptop-sized reference.
@@ -158,6 +163,7 @@ func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 		MaxCandidates: cfg.MaxCandidates,
 		Window:        cfg.StreamWindow,
 		Instrument:    cfg.Instrument,
+		Residency:     cfg.Residency,
 	})
 	if err != nil {
 		return nil, err

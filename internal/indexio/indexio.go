@@ -4,37 +4,46 @@
 // genax-bench load it back after validating that it matches the reference
 // and geometry in hand.
 //
-// File layout (all integers little-endian unless marked uvarint):
+// Two formats coexist for one release:
 //
-//	offset  size  field
-//	0       4     magic "GAXI"
-//	4       4     format version (currently 1)
-//	8       4     k-mer length k
-//	12      8     segment length
-//	20      8     overlap
-//	28      8     reference length (bases)
-//	36      8     FNV-1a hash of the reference bases
-//	44      8     number of segments
-//	52      ...   per-segment run blocks (see below)
-//	end-4   4     CRC-32 (IEEE) of everything before it
+//   - GAXI v2 (current, written by Write): page-aligned, little-endian,
+//     fixed-width sections directly usable in place — see v2.go for the
+//     layout and OpenMapped for the zero-copy load path. v2 stores the
+//     reference itself, so a mapped index is self-contained and the genome
+//     never needs a heap copy (out-of-core operation).
 //
-// Each segment block stores the index's sparse runs — only the k-mers that
-// occur, not the 4^k table:
+//   - GAXI v1 (legacy, still read): compact uvarint sparse runs, reference
+//     NOT stored. Layout (all integers little-endian unless marked
+//     uvarint):
 //
-//	uvarint       number of runs R
-//	R times:      k-mer delta (uvarint: first k-mer, then gap-1 to the
-//	              previous — runs are strictly ascending), occurrence
-//	              count (uvarint)
-//	uvarint       number of positions P (must equal the window count)
-//	P times:      position delta (uvarint: per run, first position, then
-//	              gap-1 — each run's positions are strictly ascending)
+//     offset  size  field
+//     0       4     magic "GAXI"
+//     4       4     format version (1)
+//     8       4     k-mer length k
+//     12      8     segment length
+//     20      8     overlap
+//     28      8     reference length (bases)
+//     36      8     FNV-1a hash of the reference bases
+//     44      8     number of segments
+//     52      ...   per-segment run blocks (see below)
+//     end-4   4     CRC-32 (IEEE) of everything before it
 //
-// Segment boundaries (ID, offset, reference slice) are derived from the
-// header geometry, and the reference itself is NOT stored: Read re-binds
-// each segment to the caller's reference after the hash check, so the file
-// stays proportional to the indexed data while remaining self-validating —
-// a cache built from a different reference, geometry, or code version is
-// rejected, never silently used.
+//     Each v1 segment block stores the index's sparse runs — only the
+//     k-mers that occur, not the 4^k table:
+//
+//     uvarint       number of runs R
+//     R times:      k-mer delta (uvarint: first k-mer, then gap-1 to the
+//     previous — runs are strictly ascending), occurrence
+//     count (uvarint)
+//     uvarint       number of positions P (must equal the window count)
+//     P times:      position delta (uvarint: per run, first position, then
+//     gap-1 — each run's positions are strictly ascending)
+//
+// Both formats are self-validating — a cache built from a different
+// reference, geometry, or code version is rejected, never silently used —
+// and both check the trailing CRC before decoding any length-prefixed
+// structure, so a corrupt length field can never drive a table-sized
+// allocation.
 package indexio
 
 import (
@@ -52,10 +61,16 @@ import (
 // Magic identifies an index cache file.
 const Magic = "GAXI"
 
-// Version is the current format version; Read rejects any other.
-const Version = 1
+// Version is the current format version, written by Write. Read accepts
+// this and VersionV1; everything else is rejected.
+const Version = 2
 
-// headerSize is the fixed-size prefix before the segment blocks.
+// VersionV1 is the legacy uvarint sparse-run format, kept readable for one
+// release. Only Read understands it; Write always emits the current
+// version.
+const VersionV1 = 1
+
+// headerSize is the fixed-size prefix before the v1 segment blocks.
 const headerSize = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8
 
 // RefHash returns the FNV-1a digest of the reference bases — the identity
@@ -78,8 +93,18 @@ func RefHash(ref dna.Seq) uint64 {
 	return h.Sum64()
 }
 
-// Write serializes sx, built from ref, to w.
+// Write serializes sx, built from ref, to w in the current (v2) format
+// with a single shard group. Use WriteShards to partition the segments
+// into shard groups for bounded-residency streaming.
 func Write(w io.Writer, sx *seed.SegmentedIndex, ref dna.Seq) error {
+	return WriteShards(w, sx, ref, 0)
+}
+
+// writeV1 serializes sx in the legacy v1 format. It is retained so the
+// v1→v2 coexistence tests can mint legacy inputs (and regenerate the
+// checked-in fixture) without carrying handwritten binaries; production
+// code always writes the current version.
+func writeV1(w io.Writer, sx *seed.SegmentedIndex, ref dna.Seq) error {
 	if sx == nil {
 		return fmt.Errorf("indexio: nil index")
 	}
@@ -88,7 +113,7 @@ func Write(w io.Writer, sx *seed.SegmentedIndex, ref dna.Seq) error {
 	}
 	buf := make([]byte, 0, headerSize)
 	buf = append(buf, Magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, VersionV1)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(sx.K))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(sx.SegLen))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(sx.Overlap))
@@ -131,12 +156,18 @@ func Write(w io.Writer, sx *seed.SegmentedIndex, ref dna.Seq) error {
 // rename, so a crashed or concurrent writer can never leave a torn cache
 // at the final name.
 func WriteFile(path string, sx *seed.SegmentedIndex, ref dna.Seq) error {
+	return WriteFileShards(path, sx, ref, 0)
+}
+
+// WriteFileShards is WriteFile with an explicit shard-group size; see
+// WriteShards.
+func WriteFileShards(path string, sx *seed.SegmentedIndex, ref dna.Seq, groupSize int) error {
 	tmp, err := os.CreateTemp(filepathDir(path), ".gaxi-*")
 	if err != nil {
 		return err
 	}
 	defer func() { _ = os.Remove(tmp.Name()) }()
-	if err := Write(tmp, sx, ref); err != nil {
+	if err := WriteShards(tmp, sx, ref, groupSize); err != nil {
 		_ = tmp.Close()
 		return err
 	}
@@ -182,14 +213,17 @@ func (d *decoder) uvarint(what string) uint64 {
 
 // Read parses an index cache and re-binds it to ref, which must be the
 // exact reference the cache was built from (verified by length and hash).
-// The returned index is validated segment by segment; any corruption the
-// CRC or structural checks catch surfaces as an error, never a panic.
+// Both format versions load here; the returned index is always a fresh
+// heap copy validated segment by segment (use OpenMapped for the zero-copy
+// path). Any corruption the CRC or structural checks catch surfaces as an
+// error, never a panic, and the trailing CRC is verified before any
+// length-prefixed structure is decoded.
 func Read(r io.Reader, ref dna.Seq) (*seed.SegmentedIndex, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < headerSize+4 {
+	if len(raw) < 12 {
 		return nil, fmt.Errorf("indexio: file too short (%d bytes) to be an index cache", len(raw))
 	}
 	payload, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
@@ -199,8 +233,21 @@ func Read(r io.Reader, ref dna.Seq) (*seed.SegmentedIndex, error) {
 	if string(payload[:4]) != Magic {
 		return nil, fmt.Errorf("indexio: bad magic %q", payload[:4])
 	}
-	if v := binary.LittleEndian.Uint32(payload[4:]); v != Version {
-		return nil, fmt.Errorf("indexio: unsupported format version %d (want %d)", v, Version)
+	switch v := binary.LittleEndian.Uint32(payload[4:]); v {
+	case VersionV1:
+		return readV1(payload, ref)
+	case Version:
+		return readV2(raw, ref)
+	default:
+		return nil, fmt.Errorf("indexio: unsupported format version %d (want %d or %d)", v, VersionV1, Version)
+	}
+}
+
+// readV1 decodes the legacy uvarint sparse-run format. payload is the file
+// minus its (already verified) CRC footer, with magic and version checked.
+func readV1(payload []byte, ref dna.Seq) (*seed.SegmentedIndex, error) {
+	if len(payload) < headerSize {
+		return nil, fmt.Errorf("indexio: v1 file too short (%d bytes)", len(payload))
 	}
 	k := int(binary.LittleEndian.Uint32(payload[8:]))
 	segLen := int(int64(binary.LittleEndian.Uint64(payload[12:])))
@@ -322,11 +369,24 @@ func ReadFile(path string, ref dna.Seq) (*seed.SegmentedIndex, error) {
 	return Read(f, ref)
 }
 
-// CachePath names the cache file for a (reference, geometry) pair inside
-// dir: genax-<refhash>-k<k>-s<segLen>-o<overlap>.gaxi. Callers that let
-// users pick an explicit path skip this; the auto-load paths (genax align,
-// genax-bench) use it so the cache key can never be mismatched by hand.
+// CachePath names the cache file for a (reference, geometry, format
+// version) triple inside dir:
+// genax-<refhash>-k<k>-s<segLen>-o<overlap>-v<version>.gaxi. The format
+// version is part of the content address, so caches written by different
+// releases can never collide: a v1 cache and a v2 cache of the same index
+// live at different names, and a version bump simply re-populates the dir.
+// Callers that let users pick an explicit path skip this; the auto-load
+// paths (genax align, genax-bench) use it so the cache key can never be
+// mismatched by hand.
 func CachePath(dir string, ref dna.Seq, k, segLen, overlap int) (string, error) {
+	if k < 1 || segLen < 1 {
+		return "", fmt.Errorf("indexio: invalid cache geometry (k=%d, segment=%d)", k, segLen)
+	}
+	return cachePathVersion(dir, ref, k, segLen, overlap, Version)
+}
+
+// cachePathVersion is CachePath pinned to an explicit format version.
+func cachePathVersion(dir string, ref dna.Seq, k, segLen, overlap, version int) (string, error) {
 	if k < 1 || k > dna.MaxK {
 		return "", fmt.Errorf("indexio: k-mer length %d out of range [1,%d]", k, dna.MaxK)
 	}
@@ -336,7 +396,7 @@ func CachePath(dir string, ref dna.Seq, k, segLen, overlap int) (string, error) 
 	if overlap < 0 {
 		return "", fmt.Errorf("indexio: negative overlap %d", overlap)
 	}
-	name := fmt.Sprintf("genax-%016x-k%d-s%d-o%d.gaxi", RefHash(ref), k, segLen, overlap)
+	name := fmt.Sprintf("genax-%016x-k%d-s%d-o%d-v%d.gaxi", RefHash(ref), k, segLen, overlap, version)
 	if dir == "" {
 		return name, nil
 	}

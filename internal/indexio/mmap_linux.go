@@ -1,0 +1,39 @@
+//go:build linux
+
+package indexio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map files at all; the
+// fallback build returns false and OpenMapped degrades to a heap read.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// aligning against the same cache shares one copy of the page cache.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }
+
+// adviseWillNeed hints the kernel to start faulting b in — issued when a
+// shard group becomes resident, so the seed stage's first lookups don't
+// serialize on major faults.
+func adviseWillNeed(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_WILLNEED)
+	}
+}
+
+// adviseDontNeed tells the kernel a shard group's pages are cold. Purely
+// advisory: the mapping stays valid and a stray access refaults
+// transparently, so correctness never depends on the kernel honoring it —
+// it only bounds resident set size.
+func adviseDontNeed(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_DONTNEED)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !linux
+
+package indexio
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-Linux builds have no mmap wiring; OpenMapped reads the file into
+// heap bytes instead and all views borrow from that buffer. Residency
+// advice becomes a no-op — the heap copy is already resident.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("indexio: mmap unsupported on this platform")
+}
+
+func munmap(b []byte) error { return nil }
+
+func adviseWillNeed(b []byte) {}
+
+func adviseDontNeed(b []byte) {}

@@ -1,0 +1,573 @@
+package indexio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"genax/internal/dna"
+	"genax/internal/seed"
+)
+
+// GAXI v2: the mmap-able format. Where v1 optimizes for file size (uvarint
+// sparse runs that must be decoded into fresh heap), v2 optimizes for load
+// time and sharing: every table is stored exactly as the seed stage
+// consumes it — fixed-width, little-endian, 4 KiB-aligned — so OpenMapped
+// can hand the pipeline zero-copy views of the page cache and cold start
+// is O(header), not O(index). This is the software analog of the chip
+// streaming its segment tables over DDR4 instead of rebuilding them: the
+// file *is* the in-memory layout, and the OS demand-faults only the pages
+// a shard group actually touches.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "GAXI"
+//	4       4     format version (2)
+//	8       4     k-mer length k
+//	12      4     section count S (= 1 + 3·numSegments)
+//	16      8     segment length
+//	24      8     overlap
+//	32      8     reference length (bases)
+//	40      8     FNV-1a hash of the reference bases
+//	48      8     number of segments
+//	56      4     shard group size (segments per resident group, ≥ 1)
+//	60      4     header length H (= 64 + 32·S + 4)
+//	64      32·S  section table (see below)
+//	H-4     4     header CRC-32 (IEEE) over bytes [0, H-4)
+//	...           zero padding to the next 4 KiB boundary
+//	              sections, each starting on a 4 KiB boundary,
+//	              zero-padded to the next boundary
+//	end-4   4     CRC-32 (IEEE) of everything before it
+//
+// Section table entry (32 bytes):
+//
+//	offset  size  field
+//	0       4     kind (1 ref bases, 2 start table, 3 positions, 4 presence)
+//	4       4     segment id (0 for the ref section)
+//	8       8     absolute file offset (4 KiB-aligned)
+//	16      8     data length in bytes (before padding)
+//	24      4     CRC-32 (IEEE) of the section data
+//	28      4     reserved (0)
+//
+// Sections appear in file order: ref first, then (start, positions,
+// presence) per segment in ascending segment id. Section bodies:
+//
+//	ref        refLen bytes, one base per byte (dna.Base is a byte code)
+//	start      (4^k+1) int32 — the dense start table
+//	positions  n int32 — every occurrence list concatenated in k-mer order
+//	presence   ⌈4^k/64⌉ uint64 — the presence bitmap
+//
+// Integrity model: the heap Read path verifies the whole-file trailing CRC
+// before decoding anything (same contract as v1). OpenMapped verifies only
+// the header CRC plus section-table bounds — touching every page would
+// defeat the lazy load — and relies on (a) per-section CRCs for on-demand
+// Verify, and (b) the seed package's clamp-safe lookups, which return "no
+// hits" rather than panic if a mapped table is corrupt beyond what the
+// header can see.
+const (
+	v2Align        = 4096
+	v2FixedHeader  = 64
+	v2SectionEntry = 32
+
+	sectionRef       = 1
+	sectionStart     = 2
+	sectionPositions = 3
+	sectionPresence  = 4
+)
+
+// v2Section is one parsed section-table entry.
+type v2Section struct {
+	kind, seg uint32
+	off, len  uint64
+	crc       uint32
+}
+
+// v2Header is the parsed and bounds-checked v2 header.
+type v2Header struct {
+	k, segLen, overlap, refLen int
+	refHash                    uint64
+	numSegs                    int
+	groupSize                  int
+	headerLen                  int
+	sections                   []v2Section
+}
+
+// refSection returns the reference section (always sections[0]).
+func (h *v2Header) refSection() v2Section { return h.sections[0] }
+
+// segSections returns the (start, positions, presence) sections of seg.
+func (h *v2Header) segSections(seg int) (start, positions, presence v2Section) {
+	at := 1 + 3*seg
+	return h.sections[at], h.sections[at+1], h.sections[at+2]
+}
+
+// numShardGroups returns how many shard groups the header's partition
+// yields.
+func (h *v2Header) numShardGroups() int {
+	if h.numSegs == 0 {
+		return 0
+	}
+	return (h.numSegs + h.groupSize - 1) / h.groupSize
+}
+
+// alignUp rounds n up to the next v2Align boundary.
+func alignUp(n int) int { return (n + v2Align - 1) &^ (v2Align - 1) }
+
+// wantSegments is the segment count the (refLen, segLen) geometry implies —
+// the same walk seed.BuildSegmentedIndex performs.
+func wantSegments(refLen, segLen int) int {
+	n := 0
+	for off := 0; off < refLen; off += segLen {
+		n++
+	}
+	return n
+}
+
+// segSpan returns the [off, end) reference range of segment id.
+func segSpan(id, segLen, overlap, refLen int) (off, end int) {
+	off = id * segLen
+	end = off + segLen + overlap
+	if end > refLen {
+		end = refLen
+	}
+	return off, end
+}
+
+// emitter streams a section body through fn in scratch-sized chunks; the
+// same emitters drive both the CRC pass and the write pass so the checksums
+// can never drift from the bytes on disk.
+type emitter func(scratch []byte, fn func([]byte) error) error
+
+func emitSeq(s dna.Seq) emitter {
+	return func(scratch []byte, fn func([]byte) error) error {
+		for i := 0; i < len(s); {
+			n := min(len(scratch), len(s)-i)
+			for j := 0; j < n; j++ {
+				scratch[j] = byte(s[i+j])
+			}
+			if err := fn(scratch[:n]); err != nil {
+				return err
+			}
+			i += n
+		}
+		return nil
+	}
+}
+
+func emitInt32s(v []int32) emitter {
+	return func(scratch []byte, fn func([]byte) error) error {
+		per := len(scratch) / 4
+		for i := 0; i < len(v); {
+			n := min(per, len(v)-i)
+			for j := 0; j < n; j++ {
+				binary.LittleEndian.PutUint32(scratch[4*j:], uint32(v[i+j]))
+			}
+			if err := fn(scratch[:4*n]); err != nil {
+				return err
+			}
+			i += n
+		}
+		return nil
+	}
+}
+
+func emitUint64s(v []uint64) emitter {
+	return func(scratch []byte, fn func([]byte) error) error {
+		per := len(scratch) / 8
+		for i := 0; i < len(v); {
+			n := min(per, len(v)-i)
+			for j := 0; j < n; j++ {
+				binary.LittleEndian.PutUint64(scratch[8*j:], v[i+j])
+			}
+			if err := fn(scratch[:8*n]); err != nil {
+				return err
+			}
+			i += n
+		}
+		return nil
+	}
+}
+
+// crcWriter tracks the running whole-file CRC alongside the writes.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// WriteShards serializes sx, built from ref, to w in the v2 format,
+// partitioning the segments into shard groups of groupSize segments each
+// (the last group may be short). groupSize <= 0 or >= the segment count
+// puts every segment in one group — plain mmap with no streaming
+// partition. The group size is a residency hint baked into the header, not
+// a data layout change: the tables are identical regardless, which is why
+// the index hash is invariant across shard settings.
+func WriteShards(w io.Writer, sx *seed.SegmentedIndex, ref dna.Seq, groupSize int) error {
+	if sx == nil {
+		return fmt.Errorf("indexio: nil index")
+	}
+	if sx.RefLen != len(ref) {
+		return fmt.Errorf("indexio: index covers %d bases, reference has %d", sx.RefLen, len(ref))
+	}
+	numSegs := sx.NumSegments()
+	if groupSize <= 0 || groupSize > numSegs {
+		groupSize = numSegs
+	}
+	if groupSize < 1 {
+		groupSize = 1
+	}
+
+	type section struct {
+		v2Section
+		emit emitter
+	}
+	sections := make([]section, 0, 1+3*numSegs)
+	add := func(kind uint32, seg int, length int, e emitter) {
+		sections = append(sections, section{
+			v2Section: v2Section{kind: kind, seg: uint32(seg), len: uint64(length)},
+			emit:      e,
+		})
+	}
+	add(sectionRef, 0, len(ref), emitSeq(ref))
+	for id, si := range sx.Samples {
+		start := si.StartTable()
+		positions := si.PositionTable()
+		presence := si.PresenceWords()
+		add(sectionStart, id, 4*len(start), emitInt32s(start))
+		add(sectionPositions, id, 4*len(positions), emitInt32s(positions))
+		add(sectionPresence, id, 8*len(presence), emitUint64s(presence))
+	}
+
+	headerLen := v2FixedHeader + v2SectionEntry*len(sections) + 4
+	at := alignUp(headerLen)
+	for i := range sections {
+		sections[i].off = uint64(at)
+		at = alignUp(at + int(sections[i].len))
+	}
+
+	// Pass 1: per-section CRCs, streamed through the same emitters the
+	// write pass uses.
+	scratch := make([]byte, 64<<10)
+	for i := range sections {
+		crc := uint32(0)
+		err := sections[i].emit(scratch, func(b []byte) error {
+			crc = crc32.Update(crc, crc32.IEEETable, b)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sections[i].crc = crc
+	}
+
+	// Header, CRC'd and padded to the first section boundary.
+	hdr := make([]byte, alignUp(headerLen))
+	copy(hdr, Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(sx.K))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(sx.SegLen))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(sx.Overlap))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(sx.RefLen))
+	binary.LittleEndian.PutUint64(hdr[40:], RefHash(ref))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(numSegs))
+	binary.LittleEndian.PutUint32(hdr[56:], uint32(groupSize))
+	binary.LittleEndian.PutUint32(hdr[60:], uint32(headerLen))
+	for i, s := range sections {
+		e := hdr[v2FixedHeader+v2SectionEntry*i:]
+		binary.LittleEndian.PutUint32(e[0:], s.kind)
+		binary.LittleEndian.PutUint32(e[4:], s.seg)
+		binary.LittleEndian.PutUint64(e[8:], s.off)
+		binary.LittleEndian.PutUint64(e[16:], s.len)
+		binary.LittleEndian.PutUint32(e[24:], s.crc)
+	}
+	binary.LittleEndian.PutUint32(hdr[headerLen-4:], crc32.ChecksumIEEE(hdr[:headerLen-4]))
+
+	// Pass 2: write everything through the whole-file CRC.
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(hdr); err != nil {
+		return err
+	}
+	zeros := make([]byte, v2Align)
+	written := len(hdr)
+	for i := range sections {
+		err := sections[i].emit(scratch, func(b []byte) error {
+			n, err := cw.Write(b)
+			written += n
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		for pad := alignUp(written) - written; pad > 0; {
+			n := min(pad, len(zeros))
+			if _, err := cw.Write(zeros[:n]); err != nil {
+				return err
+			}
+			written += n
+			pad -= n
+		}
+	}
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], cw.crc)
+	_, err := w.Write(footer[:])
+	return err
+}
+
+// parseV2Header decodes and fully bounds-checks a v2 header against the
+// file size. Every offset/length pair in the section table is verified to
+// lie inside the file, be page-aligned, match the geometry-implied table
+// sizes, and not overlap its neighbors — so a corrupt or hostile length
+// field is rejected here, before any caller sizes an allocation or a view
+// from it. Only the section-table slice (bounded by the checked segment
+// count) is allocated.
+func parseV2Header(data []byte) (*v2Header, error) {
+	if len(data) < v2FixedHeader+4+4 {
+		return nil, fmt.Errorf("indexio: v2 file too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("indexio: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
+		return nil, fmt.Errorf("indexio: unsupported format version %d (want %d)", v, Version)
+	}
+	h := &v2Header{
+		k:       int(binary.LittleEndian.Uint32(data[8:])),
+		segLen:  int(int64(binary.LittleEndian.Uint64(data[16:]))),
+		overlap: int(int64(binary.LittleEndian.Uint64(data[24:]))),
+		refLen:  int(int64(binary.LittleEndian.Uint64(data[32:]))),
+		refHash: binary.LittleEndian.Uint64(data[40:]),
+	}
+	sectionCount := binary.LittleEndian.Uint32(data[12:])
+	numSegs := binary.LittleEndian.Uint64(data[48:])
+	h.groupSize = int(binary.LittleEndian.Uint32(data[56:]))
+	h.headerLen = int(binary.LittleEndian.Uint32(data[60:]))
+	if h.k < 1 || h.k > dna.MaxK {
+		return nil, fmt.Errorf("indexio: k-mer length %d out of range [1,%d]", h.k, dna.MaxK)
+	}
+	if h.segLen < 1 || h.overlap < 0 || h.refLen < 0 {
+		return nil, fmt.Errorf("indexio: invalid geometry (segLen %d, overlap %d, refLen %d)", h.segLen, h.overlap, h.refLen)
+	}
+	want := wantSegments(h.refLen, h.segLen)
+	if numSegs != uint64(want) {
+		return nil, fmt.Errorf("indexio: %d segments in file, geometry implies %d", numSegs, want)
+	}
+	h.numSegs = want
+	if h.groupSize < 1 || (h.numSegs > 0 && h.groupSize > h.numSegs) {
+		return nil, fmt.Errorf("indexio: shard group size %d invalid for %d segments", h.groupSize, h.numSegs)
+	}
+	if uint64(sectionCount) != uint64(1+3*h.numSegs) {
+		return nil, fmt.Errorf("indexio: %d sections in file, %d segments imply %d", sectionCount, h.numSegs, 1+3*h.numSegs)
+	}
+	if h.headerLen != v2FixedHeader+v2SectionEntry*int(sectionCount)+4 {
+		return nil, fmt.Errorf("indexio: header length %d inconsistent with %d sections", h.headerLen, sectionCount)
+	}
+	if h.headerLen+4 > len(data) {
+		return nil, fmt.Errorf("indexio: header (%d bytes) exceeds file (%d bytes)", h.headerLen, len(data))
+	}
+	stored := binary.LittleEndian.Uint32(data[h.headerLen-4:])
+	if got := crc32.ChecksumIEEE(data[:h.headerLen-4]); got != stored {
+		return nil, fmt.Errorf("indexio: header checksum mismatch (file %08x, computed %08x): cache is corrupt", stored, got)
+	}
+
+	codec, err := dna.NewKmerCodec(h.k)
+	if err != nil {
+		return nil, err
+	}
+	numKmers := codec.NumKmers()
+	startBytes := uint64(numKmers+1) * 4
+	presenceBytes := uint64((numKmers+63)/64) * 8
+
+	h.sections = make([]v2Section, sectionCount)
+	limit := uint64(len(data) - 4) // sections end before the file CRC footer
+	prevEnd := uint64(alignUp(h.headerLen))
+	for i := range h.sections {
+		e := data[v2FixedHeader+v2SectionEntry*i:]
+		s := v2Section{
+			kind: binary.LittleEndian.Uint32(e[0:]),
+			seg:  binary.LittleEndian.Uint32(e[4:]),
+			off:  binary.LittleEndian.Uint64(e[8:]),
+			len:  binary.LittleEndian.Uint64(e[16:]),
+			crc:  binary.LittleEndian.Uint32(e[24:]),
+		}
+		wantKind, wantSeg := uint32(sectionRef), uint32(0)
+		if i > 0 {
+			wantSeg = uint32((i - 1) / 3)
+			wantKind = uint32(sectionStart + (i-1)%3)
+		}
+		if s.kind != wantKind || s.seg != wantSeg {
+			return nil, fmt.Errorf("indexio: section %d is (kind %d, seg %d), layout requires (kind %d, seg %d)", i, s.kind, s.seg, wantKind, wantSeg)
+		}
+		if s.off%v2Align != 0 {
+			return nil, fmt.Errorf("indexio: section %d offset %d not %d-aligned", i, s.off, v2Align)
+		}
+		if s.off < prevEnd || s.len > limit || s.off > limit-s.len {
+			return nil, fmt.Errorf("indexio: section %d [%d, %d+%d) outside file or overlapping", i, s.off, s.off, s.len)
+		}
+		segOff, segEnd := segSpan(int(s.seg), h.segLen, h.overlap, h.refLen)
+		switch s.kind {
+		case sectionRef:
+			if s.len != uint64(h.refLen) {
+				return nil, fmt.Errorf("indexio: ref section holds %d bytes, reference has %d", s.len, h.refLen)
+			}
+		case sectionStart:
+			if s.len != startBytes {
+				return nil, fmt.Errorf("indexio: segment %d start table holds %d bytes, k=%d needs %d", s.seg, s.len, h.k, startBytes)
+			}
+		case sectionPositions:
+			maxPos := uint64(segEnd-segOff) * 4
+			if s.len%4 != 0 || s.len > maxPos {
+				return nil, fmt.Errorf("indexio: segment %d claims %d position bytes for %d bases", s.seg, s.len, segEnd-segOff)
+			}
+		case sectionPresence:
+			if s.len != presenceBytes {
+				return nil, fmt.Errorf("indexio: segment %d presence bitmap holds %d bytes, k=%d needs %d", s.seg, s.len, h.k, presenceBytes)
+			}
+		}
+		prevEnd = s.off + s.len
+		h.sections[i] = s
+	}
+	return h, nil
+}
+
+// readV2 decodes a v2 file into a fresh heap-backed index bound to ref.
+// raw is the whole file with its trailing CRC already verified; magic and
+// version are checked again by the header parse.
+func readV2(raw []byte, ref dna.Seq) (*seed.SegmentedIndex, error) {
+	h, err := parseV2Header(raw)
+	if err != nil {
+		return nil, err
+	}
+	if h.refLen != len(ref) {
+		return nil, fmt.Errorf("indexio: cache built for a %d-base reference, have %d bases", h.refLen, len(ref))
+	}
+	if got := RefHash(ref); got != h.refHash {
+		return nil, fmt.Errorf("indexio: reference hash mismatch (cache %016x, have %016x): cache was built from a different reference", h.refHash, got)
+	}
+	sx := &seed.SegmentedIndex{
+		RefLen:  h.refLen,
+		SegLen:  h.segLen,
+		Overlap: h.overlap,
+		K:       h.k,
+		Samples: make([]*seed.SegmentIndex, h.numSegs),
+	}
+	for id := 0; id < h.numSegs; id++ {
+		start, positions, presence := h.segSections(id)
+		tab := seed.Tables{
+			Start:     decodeInt32s(raw[start.off : start.off+start.len]),
+			Positions: decodeInt32s(raw[positions.off : positions.off+positions.len]),
+			Presence:  decodeUint64s(raw[presence.off : presence.off+presence.len]),
+		}
+		off, end := segSpan(id, h.segLen, h.overlap, h.refLen)
+		si, err := seed.NewSegmentIndexFromTables(ref[off:end], id, off, h.k, tab, true)
+		if err != nil {
+			return nil, fmt.Errorf("indexio: segment %d: %w", id, err)
+		}
+		sx.Samples[id] = si
+	}
+	return sx, nil
+}
+
+// Probe inspects the cache file at path against the (reference, geometry)
+// pair in hand and reports why it cannot be used: the empty string means
+// the cache is present, intact, and matches, so a rebuild would be wasted
+// work. It never builds the index — cost is one file read plus checksums —
+// and it never errors: every failure mode, I/O included, folds into the
+// reason string, because the only decision the caller makes is
+// rebuild-or-not plus what to print.
+func Probe(path string, ref dna.Seq, k, segLen, overlap int) string {
+	if k < 1 || segLen < 1 {
+		return fmt.Sprintf("invalid geometry request (k=%d, segment=%d)", k, segLen)
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "no cache file"
+	}
+	if err != nil {
+		return fmt.Sprintf("unreadable: %v", err)
+	}
+	if len(raw) < 12 {
+		return fmt.Sprintf("file too short (%d bytes)", len(raw))
+	}
+	payload, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return fmt.Sprintf("checksum mismatch (file %08x, computed %08x)", sum, got)
+	}
+	if string(payload[:4]) != Magic {
+		return fmt.Sprintf("bad magic %q", payload[:4])
+	}
+	var ck, cs, co, crefLen int
+	var crefHash uint64
+	switch v := binary.LittleEndian.Uint32(payload[4:]); v {
+	case VersionV1:
+		if len(payload) < headerSize {
+			return fmt.Sprintf("v1 file too short (%d bytes)", len(payload))
+		}
+		ck = int(binary.LittleEndian.Uint32(payload[8:]))
+		cs = int(int64(binary.LittleEndian.Uint64(payload[12:])))
+		co = int(int64(binary.LittleEndian.Uint64(payload[20:])))
+		crefLen = int(int64(binary.LittleEndian.Uint64(payload[28:])))
+		crefHash = binary.LittleEndian.Uint64(payload[36:])
+	case Version:
+		h, err := parseV2Header(raw)
+		if err != nil {
+			return err.Error()
+		}
+		ck, cs, co, crefLen, crefHash = h.k, h.segLen, h.overlap, h.refLen, h.refHash
+	default:
+		return fmt.Sprintf("unsupported format version %d (current %d)", v, Version)
+	}
+	if ck != k || cs != segLen || co != overlap {
+		return fmt.Sprintf("geometry mismatch (cache k=%d seg=%d overlap=%d, want k=%d seg=%d overlap=%d)", ck, cs, co, k, segLen, overlap)
+	}
+	if crefLen != len(ref) {
+		return fmt.Sprintf("reference length mismatch (cache %d bases, have %d)", crefLen, len(ref))
+	}
+	if got := RefHash(ref); got != crefHash {
+		return fmt.Sprintf("reference hash mismatch (cache %016x, have %016x)", crefHash, got)
+	}
+	return ""
+}
+
+// FileVersion reads a cache file's format version stamp (magic plus the
+// version word, first 8 bytes) without loading or validating the rest.
+// Callers use it to decide whether a Probe-fresh cache can also be mapped
+// (v1 files pass Probe but only v2 supports OpenMapped).
+func FileVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, err
+	}
+	if string(hdr[:4]) != Magic {
+		return 0, fmt.Errorf("indexio: bad magic %q", hdr[:4])
+	}
+	return int(binary.LittleEndian.Uint32(hdr[4:])), nil
+}
+
+// GroupSizeForShards converts a user-facing shard count (the -shards flag:
+// "partition the cache into N groups") into the segments-per-group value
+// the v2 header stores. It is the single flag→header conversion, shared by
+// every writer and staleness probe so they cannot disagree: shards <= 0 or
+// an empty index collapses to one all-spanning group, and a shard count
+// beyond the segment count clamps to one segment per group.
+func GroupSizeForShards(numSegs, shards int) int {
+	if shards <= 0 || numSegs == 0 {
+		return numSegs
+	}
+	if shards > numSegs {
+		shards = numSegs
+	}
+	return (numSegs + shards - 1) / shards
+}

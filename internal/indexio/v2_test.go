@@ -1,0 +1,396 @@
+package indexio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genax/internal/dna"
+	"genax/internal/seed"
+)
+
+// -update regenerates the checked-in format fixtures (testdata/*.gaxi).
+var updateFixtures = flag.Bool("update", false, "rewrite testdata fixtures")
+
+func writeV2File(t *testing.T, dir string, sx *seed.SegmentedIndex, ref dna.Seq, groupSize int) string {
+	t.Helper()
+	path := filepath.Join(dir, "test.gaxi")
+	if err := WriteFileShards(path, sx, ref, groupSize); err != nil {
+		t.Fatalf("WriteFileShards: %v", err)
+	}
+	return path
+}
+
+// TestMappedParity is the core v2 guarantee: an index opened in place must
+// be indistinguishable from the heap-loaded one — same Hash, same lookups,
+// same reference bytes — across shard partitions, and Verify must pass on
+// a freshly written file.
+func TestMappedParity(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ref := randSeq(r, 9000)
+	sx := buildIndex(t, ref, 2048, 128, 6)
+	for _, groupSize := range []int{0, 1, 2, 5} {
+		path := writeV2File(t, t.TempDir(), sx, ref, groupSize)
+		m, err := OpenMapped(path)
+		if err != nil {
+			t.Fatalf("groupSize %d: OpenMapped: %v", groupSize, err)
+		}
+		if got := m.Index().Hash(); got != sx.Hash() {
+			t.Errorf("groupSize %d: mapped hash %016x != built %016x", groupSize, got, sx.Hash())
+		}
+		if m.RefHash() != RefHash(ref) || len(m.Ref()) != len(ref) {
+			t.Fatalf("groupSize %d: ref identity diverged", groupSize)
+		}
+		for i, b := range m.Ref() {
+			if b != ref[i] {
+				t.Fatalf("groupSize %d: ref byte %d = %d, want %d", groupSize, i, b, ref[i])
+			}
+		}
+		if m.K() != 6 || m.SegLen() != 2048 || m.Overlap() != 128 {
+			t.Fatalf("groupSize %d: geometry accessors %d/%d/%d", groupSize, m.K(), m.SegLen(), m.Overlap())
+		}
+		wantGS := groupSize
+		if wantGS <= 0 || wantGS > sx.NumSegments() {
+			wantGS = sx.NumSegments()
+		}
+		if m.ShardGroupSize() != wantGS {
+			t.Errorf("groupSize %d: header stores %d", groupSize, m.ShardGroupSize())
+		}
+		for id, si := range m.Index().Samples {
+			want := sx.Samples[id]
+			for trial := 0; trial < 300; trial++ {
+				pos := r.Intn(len(ref) - 6)
+				hits, ok := si.LookupAt(m.Ref(), pos)
+				wantHits, wantOK := want.LookupAt(ref, pos)
+				if ok != wantOK || len(hits) != len(wantHits) {
+					t.Fatalf("groupSize %d seg %d pos %d: lookup diverged", groupSize, id, pos)
+				}
+				for i := range hits {
+					if hits[i] != wantHits[i] {
+						t.Fatalf("groupSize %d seg %d pos %d: hit %d", groupSize, id, pos, i)
+					}
+				}
+			}
+		}
+		if err := m.Verify(); err != nil {
+			t.Errorf("groupSize %d: Verify: %v", groupSize, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Errorf("groupSize %d: Close: %v", groupSize, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Errorf("groupSize %d: second Close: %v", groupSize, err)
+		}
+	}
+}
+
+// resealV2 applies mutate to a copy of a v2 file and recomputes both the
+// header CRC and the whole-file footer CRC, so the mutation reaches the
+// semantic bounds checks instead of being caught by a checksum.
+func resealV2(t *testing.T, good []byte, mutate func([]byte)) []byte {
+	t.Helper()
+	b := append([]byte(nil), good...)
+	mutate(b)
+	headerLen := int(binary.LittleEndian.Uint32(b[60:]))
+	binary.LittleEndian.PutUint32(b[headerLen-4:], crc32.ChecksumIEEE(b[:headerLen-4]))
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+	return b
+}
+
+// TestInflatedSectionLengthRejected pins the satellite fix: a corrupt (or
+// hostile) section length that passes both checksums must be rejected by
+// the bounds checks before any table-sized allocation or view is created —
+// on the heap path and the mapped path alike.
+func TestInflatedSectionLengthRejected(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	ref := randSeq(r, 5000)
+	sx := buildIndex(t, ref, 2048, 64, 6)
+	var buf bytes.Buffer
+	if err := Write(&buf, sx, ref); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	good := buf.Bytes()
+
+	// Entry 1 is segment 0's start table; its length field is at
+	// 64 + 32·1 + 16. Inflate it to a multi-GiB claim.
+	lenAt := v2FixedHeader + v2SectionEntry + 16
+	cases := map[string]func([]byte){
+		"inflated length": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[lenAt:], 8<<30)
+		},
+		"length past footer": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[lenAt:], uint64(len(good)))
+		},
+		"misaligned offset": func(b []byte) {
+			off := binary.LittleEndian.Uint64(b[lenAt-8:])
+			binary.LittleEndian.PutUint64(b[lenAt-8:], off+8)
+		},
+		"overlapping offset": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[lenAt-8:], 0)
+		},
+		"wrong kind": func(b []byte) {
+			binary.LittleEndian.PutUint32(b[v2FixedHeader+v2SectionEntry:], sectionPresence)
+		},
+		"inflated segment count": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[48:], 1<<40)
+		},
+		"zero group size": func(b []byte) {
+			binary.LittleEndian.PutUint32(b[56:], 0)
+		},
+	}
+	dir := t.TempDir()
+	for name, mutate := range cases {
+		bad := resealV2(t, good, mutate)
+		if _, err := Read(bytes.NewReader(bad), ref); err == nil {
+			t.Errorf("%s: heap Read accepted", name)
+		}
+		path := filepath.Join(dir, "bad.gaxi")
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if m, err := OpenMapped(path); err == nil {
+			_ = m.Close()
+			t.Errorf("%s: OpenMapped accepted", name)
+		}
+	}
+	// Corruption in a table body (past the header CRC's reach) must fail
+	// the heap path's footer CRC, and Verify on the mapped path.
+	bodyAt := alignUp(int(binary.LittleEndian.Uint32(good[60:]))) + 100
+	bad := append([]byte(nil), good...)
+	bad[bodyAt] ^= 0x5a
+	if _, err := Read(bytes.NewReader(bad), ref); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("body flip: heap Read err = %v, want checksum mismatch", err)
+	}
+	path := filepath.Join(dir, "bodyflip.gaxi")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("body flip: OpenMapped rejected (header is intact): %v", err)
+	}
+	if err := m.Verify(); err == nil {
+		t.Error("body flip: Verify passed on corrupt section")
+	}
+	_ = m.Close()
+}
+
+// TestV1StillReadable pins v1→v2 coexistence in-process: a legacy file
+// minted by the retained v1 writer must load through the same Read
+// dispatcher and hash-match the live build.
+func TestV1StillReadable(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	ref := randSeq(r, 4000)
+	sx := buildIndex(t, ref, 1500, 100, 7)
+	var buf bytes.Buffer
+	if err := writeV1(&buf, sx, ref); err != nil {
+		t.Fatalf("writeV1: %v", err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:]); v != VersionV1 {
+		t.Fatalf("writeV1 stamped version %d", v)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), ref)
+	if err != nil {
+		t.Fatalf("Read(v1): %v", err)
+	}
+	if got.Hash() != sx.Hash() {
+		t.Errorf("v1 round trip hash %016x != %016x", got.Hash(), sx.Hash())
+	}
+	// v1 cannot be mapped; the error should point at the decode path.
+	path := filepath.Join(t.TempDir(), "v1.gaxi")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(path); err == nil || !strings.Contains(err.Error(), "v1") {
+		t.Errorf("OpenMapped(v1) err = %v, want v1 rejection", err)
+	}
+}
+
+// fixtureRef regenerates the deterministic reference the checked-in v1
+// fixture was built from (math/rand's seeded sequence is stable across
+// releases).
+func fixtureRef() dna.Seq {
+	return randSeq(rand.New(rand.NewSource(1848)), 2000)
+}
+
+// TestV1FixtureLoads guards the on-disk legacy bytes themselves: the
+// checked-in v1 fixture must keep loading even if writeV1 drifts or is
+// eventually deleted. Regenerate with: go test ./internal/indexio -run
+// V1Fixture -update (and commit the new file only with a format-change
+// rationale).
+func TestV1FixtureLoads(t *testing.T) {
+	const path = "testdata/v1-tiny.gaxi"
+	ref := fixtureRef()
+	sx := buildIndex(t, ref, 800, 64, 5)
+	if *updateFixtures {
+		var buf bytes.Buffer
+		if err := writeV1(&buf, sx, ref); err != nil {
+			t.Fatalf("writeV1: %v", err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("fixture missing (regenerate with -update): %v", err)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:]); v != VersionV1 {
+		t.Fatalf("fixture is version %d, want %d", v, VersionV1)
+	}
+	got, err := Read(bytes.NewReader(raw), ref)
+	if err != nil {
+		t.Fatalf("Read(fixture): %v", err)
+	}
+	if got.Hash() != sx.Hash() {
+		t.Errorf("fixture hash %016x != rebuilt %016x", got.Hash(), sx.Hash())
+	}
+}
+
+// TestCachePathVersioned pins the format version into the content address
+// so caches from different releases can never collide.
+func TestCachePathVersioned(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	ref := randSeq(r, 1000)
+	cur, err := CachePath("", ref, 6, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cur, "-v2.gaxi") {
+		t.Errorf("CachePath %q does not pin the current version", cur)
+	}
+	v1, err := cachePathVersion("", ref, 6, 512, 32, VersionV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == cur {
+		t.Errorf("v1 and v2 cache paths collide: %q", cur)
+	}
+}
+
+// TestProbeReasons drives every staleness class through Probe and checks
+// the one-line reasons genax index prints.
+func TestProbeReasons(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	ref := randSeq(r, 5000)
+	sx := buildIndex(t, ref, 2048, 64, 6)
+	dir := t.TempDir()
+	path := writeV2File(t, dir, sx, ref, 2)
+
+	if reason := Probe(path, ref, 6, 2048, 64); reason != "" {
+		t.Errorf("fresh cache: %q", reason)
+	}
+	if reason := Probe(filepath.Join(dir, "absent.gaxi"), ref, 6, 2048, 64); reason != "no cache file" {
+		t.Errorf("missing: %q", reason)
+	}
+	if reason := Probe(path, ref, 8, 2048, 64); !strings.Contains(reason, "geometry mismatch") {
+		t.Errorf("k mismatch: %q", reason)
+	}
+	other := append(dna.Seq(nil), ref...)
+	other[0] ^= 1
+	if reason := Probe(path, other, 6, 2048, 64); !strings.Contains(reason, "reference hash mismatch") {
+		t.Errorf("ref mismatch: %q", reason)
+	}
+	if reason := Probe(path, ref[:100], 6, 2048, 64); !strings.Contains(reason, "reference length") {
+		t.Errorf("ref length: %q", reason)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x5a
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if reason := Probe(path, ref, 6, 2048, 64); !strings.Contains(reason, "checksum mismatch") {
+		t.Errorf("corrupt: %q", reason)
+	}
+	// A v1 cache probes as usable when its geometry matches: still
+	// readable this release.
+	var v1buf bytes.Buffer
+	if err := writeV1(&v1buf, sx, ref); err != nil {
+		t.Fatal(err)
+	}
+	v1path := filepath.Join(dir, "v1.gaxi")
+	if err := os.WriteFile(v1path, v1buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if reason := Probe(v1path, ref, 6, 2048, 64); reason != "" {
+		t.Errorf("matching v1 cache: %q", reason)
+	}
+	// An unknown future version reports itself.
+	fut := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(fut[4:], 9)
+	binary.LittleEndian.PutUint32(fut[len(fut)-4:], crc32.ChecksumIEEE(fut[:len(fut)-4]))
+	futPath := filepath.Join(dir, "future.gaxi")
+	if err := os.WriteFile(futPath, fut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if reason := Probe(futPath, ref, 6, 2048, 64); !strings.Contains(reason, "version 9") {
+		t.Errorf("future version: %q", reason)
+	}
+}
+
+// TestShardResidencyProtocol simulates the seed stage's lane discipline —
+// every lane acquires and releases every segment in ascending order behind
+// a barrier — and checks the residency bound, the counters, and that the
+// walk completes (no deadlock) at the tightest budget.
+// residencyLaneWalk is one lane of TestShardResidencyProtocol: walk every
+// segment ascending under the Acquire/Release protocol, touching a
+// borrowed lookup strictly within this frame (the same discipline the
+// real seed lanes follow).
+func residencyLaneWalk(m *Mapped, res *ShardResidency) int {
+	sum := 0
+	for s := range m.Index().Samples {
+		res.Acquire(s)
+		si := m.Index().Samples[s]
+		if hits := si.Lookup(0); len(hits) > 0 {
+			sum += int(hits[0])
+		}
+		res.Release(s)
+	}
+	return sum
+}
+
+func TestShardResidencyProtocol(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	ref := randSeq(r, 8192)
+	sx := buildIndex(t, ref, 1024, 64, 5) // 8 segments
+	path := writeV2File(t, t.TempDir(), sx, ref, 2)
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.NumShardGroups() != 4 {
+		t.Fatalf("NumShardGroups = %d, want 4", m.NumShardGroups())
+	}
+
+	for _, lanes := range []int{1, 4} {
+		res := NewShardResidency(m, 1)
+		done := make(chan int, lanes)
+		for l := 0; l < lanes; l++ {
+			go func() { done <- residencyLaneWalk(m, res) }()
+		}
+		for l := 0; l < lanes; l++ {
+			<-done
+		}
+		admits, drops, _ := res.Stats()
+		if admits < m.NumShardGroups() {
+			t.Errorf("lanes %d: %d admits for %d groups", lanes, admits, m.NumShardGroups())
+		}
+		if drops != admits {
+			t.Errorf("lanes %d: admits %d != drops %d after drain", lanes, admits, drops)
+		}
+		if !strings.Contains(res.String(), "shard residency") {
+			t.Errorf("String() = %q", res.String())
+		}
+	}
+}

@@ -8,6 +8,7 @@ package borrowtest
 type index struct {
 	positions []int32
 	start     []int32
+	words     []uint64
 }
 
 // Lookup returns a window of the shared position table.

@@ -107,6 +107,25 @@ type Params struct {
 	// occupancy. The pipeline never reads a clock itself; bench code
 	// injects one (the package stays on the determinism list).
 	Instrument *Instrument
+	// Residency, when non-nil, is notified as seed lanes enter and leave
+	// each segment so a mapped index can bound how many shard groups are
+	// resident at once (indexio.ShardResidency). Purely advisory for
+	// correctness — results are byte-identical with or without it — it
+	// exists to bound the working set when the index is larger than RAM.
+	// The single-read fast path (AlignRead) bypasses it: one read touches
+	// every segment anyway, so there is nothing to stream.
+	Residency Residency
+}
+
+// Residency is the seed stage's segment-residency protocol: Acquire(seg)
+// is called by each seed lane before it binds segment seg's tables,
+// Release(seg) after the per-segment barrier. Acquire may block to bound
+// the number of simultaneously resident segment groups; Release must
+// never block. Implementations must tolerate every lane calling both for
+// every segment, in ascending segment order per window.
+type Residency interface {
+	Acquire(seg int)
+	Release(seg int)
 }
 
 // SplitLanes splits a worker budget between the seed and extend pools in

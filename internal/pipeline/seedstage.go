@@ -89,8 +89,18 @@ func (l *seedLane) seedOne(q dna.Seq, readIdx int32, reverse bool, w *window, b 
 func (p *Pipeline) seedWorker(pl *pool, winCh <-chan *window) {
 	l := p.newSeedLane()
 	inst := p.params.Instrument
+	res := p.params.Residency
 	for w := range winCh {
 		for s, si := range p.index.Samples {
+			// Announce the segment before touching its tables so a sharded
+			// mapped index can admit the shard group (and block us while
+			// the residency budget is spent elsewhere). The matching
+			// Release sits after the barrier: by then every lane is done
+			// reading segment s, so the group can be retired the moment
+			// its last segment drains.
+			if res != nil {
+				res.Acquire(s)
+			}
 			l.bind(si)
 			for {
 				start := w.cursors[s].Add(w.chunk) - w.chunk
@@ -124,6 +134,9 @@ func (p *Pipeline) seedWorker(pl *pool, winCh <-chan *window) {
 				}
 			}
 			w.bar.await()
+			if res != nil {
+				res.Release(s)
+			}
 		}
 		w.seederDone()
 	}

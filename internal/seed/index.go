@@ -17,6 +17,33 @@ import (
 	"genax/internal/dna"
 )
 
+// Tables is the thin view a SegmentIndex reads through: the start table,
+// the position table, and the presence bitmap as plain slices. The backing
+// memory is either owned heap storage (the builders, the v1 cache loader)
+// or a borrowed window of a memory-mapped GAXI v2 file (indexio.OpenMapped)
+// — the lookup paths are identical either way, which is what keeps
+// SegmentedIndex.Hash and every seed result byte-identical across the
+// in-memory, mapped, and sharded paths.
+//
+// Mapped views outlive nothing: the slices alias the mapping, so the file
+// may be unmapped only after every lane that borrowed from the index has
+// drained (see indexio.Mapped.Close).
+type Tables struct {
+	// Start[km] .. Start[km+1] delimit positions of k-mer km.
+	Start []int32
+	// Positions is every occurrence list concatenated in k-mer order.
+	Positions []int32
+	// Presence is a sidecar bitmap: bit km is set iff the k-mer occurs in
+	// the segment (Start[km] < Start[km+1]). At 2 bits per table entry it
+	// is 32× smaller than the start table, so the common absent-k-mer probe
+	// (a read tested against a segment it does not belong to) resolves in a
+	// cache-resident structure instead of a miss on the 4(4^k+1)-byte start
+	// table. It is derived data — the chip keeps the whole table in SRAM
+	// and needs no such filter — and is excluded from the Table II SRAM
+	// model.
+	Presence []uint64
+}
+
 // SegmentIndex is the index of one genome segment: for every k-mer, the
 // sorted list of positions where it occurs. The paper streams one such
 // pair of tables (48 MB index + 18 MB positions for k=12) into on-chip
@@ -29,18 +56,9 @@ type SegmentIndex struct {
 	Ref dna.Seq
 
 	codec *dna.KmerCodec
-	// start[km] .. start[km+1] delimit positions of k-mer km.
-	start     []int32
-	positions []int32
-	// presence is a sidecar bitmap: bit km is set iff the k-mer occurs in
-	// the segment (start[km] < start[km+1]). At 2 bits per table entry it
-	// is 32× smaller than the start table, so the common absent-k-mer probe
-	// (a read tested against a segment it does not belong to) resolves in a
-	// cache-resident structure instead of a miss on the 4(4^k+1)-byte start
-	// table. It is derived data — the chip keeps the whole table in SRAM
-	// and needs no such filter — and is excluded from the Table II SRAM
-	// model.
-	presence []uint64
+	// tab is the table view: owned heap slices for built indexes, borrowed
+	// mapping windows for indexes opened in place.
+	tab Tables
 }
 
 // sparseBuildFactor selects the build strategy: when the windows of a
@@ -63,7 +81,7 @@ func BuildSegmentIndex(ref dna.Seq, id, offset, k int) (*SegmentIndex, error) {
 	}
 	si := &SegmentIndex{ID: id, Offset: offset, Ref: ref, codec: codec}
 	numKmers := codec.NumKmers()
-	si.presence = make([]uint64, presenceWords(numKmers))
+	si.tab.Presence = make([]uint64, presenceWords(numKmers))
 	n := len(ref) - k + 1
 	if n < 0 {
 		n = 0
@@ -82,7 +100,7 @@ func presenceWords(numKmers int) int { return (numKmers + 63) / 64 }
 
 // markPresent sets km's presence bit.
 func (si *SegmentIndex) markPresent(km dna.Kmer) {
-	si.presence[km>>6] |= 1 << (km & 63)
+	si.tab.Presence[km>>6] |= 1 << (km & 63)
 }
 
 // kmerAt pairs one window's k-mer with its position for the sparse build.
@@ -131,8 +149,8 @@ func (si *SegmentIndex) buildSparse(kms []dna.Kmer, numKmers int) {
 	for x := fillFrom; x <= numKmers; x++ {
 		start[x] = cum
 	}
-	si.start = start
-	si.positions = positions
+	si.tab.Start = start
+	si.tab.Positions = positions
 }
 
 // buildDense is the counting build for segments that populate a large
@@ -155,8 +173,8 @@ func (si *SegmentIndex) buildDense(kms []dna.Kmer, numKmers int) {
 		positions[c[km+1]] = int32(p)
 		c[km+1]++
 	}
-	si.start = c[: numKmers+1 : numKmers+1]
-	si.positions = positions
+	si.tab.Start = c[: numKmers+1 : numKmers+1]
+	si.tab.Positions = positions
 }
 
 // NewSegmentIndexFromRuns rebuilds a SegmentIndex from its sparse run
@@ -187,7 +205,7 @@ func NewSegmentIndexFromRuns(ref dna.Seq, id, offset, k int, kmers []dna.Kmer, c
 		return nil, fmt.Errorf("seed: %d positions for a %d-base segment (want %d windows)", len(positions), len(ref), n)
 	}
 	si := &SegmentIndex{ID: id, Offset: offset, Ref: ref, codec: codec}
-	si.presence = make([]uint64, presenceWords(numKmers))
+	si.tab.Presence = make([]uint64, presenceWords(numKmers))
 	start := make([]int32, numKmers+1)
 	cum := int32(0)
 	fillFrom := 0
@@ -229,9 +247,88 @@ func NewSegmentIndexFromRuns(ref dna.Seq, id, offset, k int, kmers []dna.Kmer, c
 	for x := fillFrom; x <= numKmers; x++ {
 		start[x] = cum
 	}
-	si.start = start
-	si.positions = positions
+	si.tab.Start = start
+	si.tab.Positions = positions
 	return si, nil
+}
+
+// NewSegmentIndexFromTables binds a SegmentIndex directly over a table
+// view — the zero-copy path the mapped GAXI v2 loader uses: t's slices may
+// alias a read-only file mapping and are adopted, never copied. The length
+// invariants (start table sized for 4^k+1, positions matching the window
+// count, presence bitmap sized for the k-mer space) are always enforced;
+// validate additionally runs the full structural scan (monotone start
+// table, in-range ascending positions, presence/start agreement), which
+// touches every table page and therefore defeats lazy residency — mapped
+// callers leave it false and rely on the clamped lookup paths plus the
+// file's checksums instead.
+func NewSegmentIndexFromTables(ref dna.Seq, id, offset, k int, t Tables, validate bool) (*SegmentIndex, error) {
+	if k < 1 || k > dna.MaxK {
+		return nil, fmt.Errorf("seed: k-mer length %d out of range [1,%d]", k, dna.MaxK)
+	}
+	codec, err := dna.NewKmerCodec(k)
+	if err != nil {
+		return nil, err
+	}
+	numKmers := codec.NumKmers()
+	n := len(ref) - k + 1
+	if n < 0 {
+		n = 0
+	}
+	if len(t.Start) != numKmers+1 {
+		return nil, fmt.Errorf("seed: start table holds %d entries, k=%d needs %d", len(t.Start), k, numKmers+1)
+	}
+	if len(t.Positions) != n {
+		return nil, fmt.Errorf("seed: %d positions for a %d-base segment (want %d windows)", len(t.Positions), len(ref), n)
+	}
+	if len(t.Presence) != presenceWords(numKmers) {
+		return nil, fmt.Errorf("seed: presence bitmap holds %d words, k=%d needs %d", len(t.Presence), k, presenceWords(numKmers))
+	}
+	si := &SegmentIndex{ID: id, Offset: offset, Ref: ref, codec: codec, tab: t}
+	if validate {
+		if err := si.ValidateTables(); err != nil {
+			return nil, err
+		}
+	}
+	return si, nil
+}
+
+// ValidateTables runs the full structural scan over the table view: the
+// start table must begin at zero, stay monotone, and end at the position
+// count; every occurrence list must be strictly ascending and in range;
+// and the presence bitmap must agree with the start table bit for bit.
+// The scan touches every page of every table, so mapped indexes run it
+// only on demand (indexio's Verify paths), not on open.
+func (si *SegmentIndex) ValidateTables() error {
+	t := &si.tab
+	numKmers := si.codec.NumKmers()
+	n := len(t.Positions)
+	if t.Start[0] != 0 {
+		return fmt.Errorf("seed: start table begins at %d, want 0", t.Start[0])
+	}
+	if int(t.Start[numKmers]) != n {
+		return fmt.Errorf("seed: start table ends at %d, position table holds %d", t.Start[numKmers], n)
+	}
+	for km := 0; km < numKmers; km++ {
+		lo, hi := t.Start[km], t.Start[km+1]
+		if hi < lo || lo < 0 || int(hi) > n {
+			return fmt.Errorf("seed: start table not monotone at k-mer %d (%d..%d)", km, lo, hi)
+		}
+		present := t.Presence[km>>6]&(1<<(uint(km)&63)) != 0
+		if present != (hi > lo) {
+			return fmt.Errorf("seed: presence bit for k-mer %d disagrees with start table", km)
+		}
+		for j := lo; j < hi; j++ {
+			p := t.Positions[j]
+			if p < 0 || int(p) >= n {
+				return fmt.Errorf("seed: position %d of k-mer %d outside [0,%d)", p, km, n)
+			}
+			if j > lo && t.Positions[j-1] >= p {
+				return fmt.Errorf("seed: positions of k-mer %d not strictly ascending", km)
+			}
+		}
+	}
+	return nil
 }
 
 // AppendRuns appends the index's sparse run representation to kmers and
@@ -240,13 +337,13 @@ func NewSegmentIndexFromRuns(ref dna.Seq, id, offset, k int, kmers []dna.Kmer, c
 // proportional to the distinct k-mers present plus one load per 64-k-mer
 // word, not to the 4^k table size.
 func (si *SegmentIndex) AppendRuns(kmers []dna.Kmer, counts []int32) ([]dna.Kmer, []int32) {
-	for w, word := range si.presence {
+	for w, word := range si.tab.Presence {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << b
 			km := dna.Kmer(w<<6 + b)
 			kmers = append(kmers, km)
-			counts = append(counts, si.start[km+1]-si.start[km])
+			counts = append(counts, si.tab.Start[km+1]-si.tab.Start[km])
 		}
 	}
 	return kmers, counts
@@ -257,7 +354,21 @@ func (si *SegmentIndex) AppendRuns(kmers []dna.Kmer, counts []int32) ([]dna.Kmer
 // read-only, like Lookup results.
 //
 //genax:borrowed
-func (si *SegmentIndex) PositionTable() []int32 { return si.positions }
+func (si *SegmentIndex) PositionTable() []int32 { return si.tab.Positions }
+
+// StartTable returns the dense start table (4^k+1 offsets). It is the
+// index's backing store under the same borrow contract as PositionTable:
+// a read-only view, valid for the index's lifetime, possibly aliasing a
+// file mapping.
+//
+//genax:borrowed
+func (si *SegmentIndex) StartTable() []int32 { return si.tab.Start }
+
+// PresenceWords returns the presence bitmap words under the same borrow
+// contract as PositionTable.
+//
+//genax:borrowed
+func (si *SegmentIndex) PresenceWords() []uint64 { return si.tab.Presence }
 
 // K returns the k-mer length.
 func (si *SegmentIndex) K() int { return si.codec.K() }
@@ -275,10 +386,18 @@ func (si *SegmentIndex) K() int { return si.codec.K() }
 //genax:borrowed
 //genax:hotpath
 func (si *SegmentIndex) Lookup(km dna.Kmer) []int32 {
-	if si.presence[km>>6]&(1<<(km&63)) == 0 {
+	if si.tab.Presence[km>>6]&(1<<(km&63)) == 0 {
 		return nil
 	}
-	return si.positions[si.start[km]:si.start[km+1]]
+	lo, hi := si.tab.Start[km], si.tab.Start[km+1]
+	if lo < 0 || hi < lo || int(hi) > len(si.tab.Positions) {
+		// Clamp, never panic: a mapped view skips the full structural scan
+		// (it would fault every page), so a corrupt start table that slipped
+		// past the file checksums must degrade to "no hits", not a crash.
+		// Built and validated tables never take this branch.
+		return nil
+	}
+	return si.tab.Positions[lo:hi]
 }
 
 // lookupDense is Lookup without the presence pre-filter: both loads go to
@@ -288,7 +407,11 @@ func (si *SegmentIndex) Lookup(km dna.Kmer) []int32 {
 //genax:borrowed
 //genax:hotpath
 func (si *SegmentIndex) lookupDense(km dna.Kmer) []int32 {
-	return si.positions[si.start[km]:si.start[km+1]]
+	lo, hi := si.tab.Start[km], si.tab.Start[km+1]
+	if lo < 0 || hi < lo || int(hi) > len(si.tab.Positions) {
+		return nil
+	}
+	return si.tab.Positions[lo:hi]
 }
 
 // LookupAt encodes the k-mer of read at pos and returns its hits. ok is
@@ -311,7 +434,7 @@ func (si *SegmentIndex) LookupAt(read dna.Seq, pos int) (hits []int32, ok bool) 
 func (si *SegmentIndex) IndexTableBytes() int { return 4 * (si.codec.NumKmers() + 1) }
 
 // PositionTableBytes returns the position-table footprint.
-func (si *SegmentIndex) PositionTableBytes() int { return 4 * len(si.positions) }
+func (si *SegmentIndex) PositionTableBytes() int { return 4 * len(si.tab.Positions) }
 
 // SegmentedIndex is the whole-genome structure: the reference cut into
 // fixed-size segments (512 for a human genome in §VI) with enough overlap
@@ -463,7 +586,7 @@ func (sx *SegmentedIndex) Hash() uint64 {
 			put(uint64(km))
 			put(uint64(uint32(counts[i])))
 		}
-		for _, p := range si.positions {
+		for _, p := range si.tab.Positions {
 			put(uint64(uint32(p)))
 		}
 	}

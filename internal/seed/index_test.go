@@ -279,26 +279,26 @@ func TestSparseAndDenseBuildsAgree(t *testing.T) {
 			n = 0
 		}
 		kms := codec.AppendScan(nil, ref)
-		sparse := &SegmentIndex{Ref: ref, codec: codec, presence: make([]uint64, presenceWords(codec.NumKmers()))}
+		sparse := &SegmentIndex{Ref: ref, codec: codec, tab: Tables{Presence: make([]uint64, presenceWords(codec.NumKmers()))}}
 		sparse.buildSparse(append([]dna.Kmer(nil), kms...), codec.NumKmers())
-		dense := &SegmentIndex{Ref: ref, codec: codec, presence: make([]uint64, presenceWords(codec.NumKmers()))}
+		dense := &SegmentIndex{Ref: ref, codec: codec, tab: Tables{Presence: make([]uint64, presenceWords(codec.NumKmers()))}}
 		dense.buildDense(kms, codec.NumKmers())
-		if len(sparse.start) != len(dense.start) || len(sparse.positions) != len(dense.positions) {
+		if len(sparse.tab.Start) != len(dense.tab.Start) || len(sparse.tab.Positions) != len(dense.tab.Positions) {
 			t.Fatalf("%+v: table sizes differ (start %d/%d, positions %d/%d)",
-				tc, len(sparse.start), len(dense.start), len(sparse.positions), len(dense.positions))
+				tc, len(sparse.tab.Start), len(dense.tab.Start), len(sparse.tab.Positions), len(dense.tab.Positions))
 		}
-		for i := range sparse.start {
-			if sparse.start[i] != dense.start[i] {
-				t.Fatalf("%+v: start[%d] = %d sparse vs %d dense", tc, i, sparse.start[i], dense.start[i])
+		for i := range sparse.tab.Start {
+			if sparse.tab.Start[i] != dense.tab.Start[i] {
+				t.Fatalf("%+v: start[%d] = %d sparse vs %d dense", tc, i, sparse.tab.Start[i], dense.tab.Start[i])
 			}
 		}
-		for i := range sparse.positions {
-			if sparse.positions[i] != dense.positions[i] {
-				t.Fatalf("%+v: positions[%d] = %d sparse vs %d dense", tc, i, sparse.positions[i], dense.positions[i])
+		for i := range sparse.tab.Positions {
+			if sparse.tab.Positions[i] != dense.tab.Positions[i] {
+				t.Fatalf("%+v: positions[%d] = %d sparse vs %d dense", tc, i, sparse.tab.Positions[i], dense.tab.Positions[i])
 			}
 		}
-		for i := range sparse.presence {
-			if sparse.presence[i] != dense.presence[i] {
+		for i := range sparse.tab.Presence {
+			if sparse.tab.Presence[i] != dense.tab.Presence[i] {
 				t.Fatalf("%+v: presence word %d differs", tc, i)
 			}
 		}
@@ -314,7 +314,7 @@ func TestPresenceBitmapFiltersAbsentKmers(t *testing.T) {
 	codec, _ := dna.NewKmerCodec(4)
 	for km := dna.Kmer(0); int(km) < codec.NumKmers(); km++ {
 		hits := si.Lookup(km)
-		present := si.presence[km>>6]&(1<<(km&63)) != 0
+		present := si.tab.Presence[km>>6]&(1<<(km&63)) != 0
 		if present != (len(hits) > 0) {
 			t.Fatalf("kmer %d: presence bit %v but %d hits", km, present, len(hits))
 		}
@@ -375,7 +375,7 @@ func TestLookupBorrowContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snapshot := append([]int32(nil), si.positions...)
+	snapshot := append([]int32(nil), si.tab.Positions...)
 	for _, opts := range []Options{
 		DefaultOptions(),
 		{MinSeedLen: 10, CAMSize: 8, SMEMFilter: true, BinaryExtension: true, Probing: true, ExactFastPath: true},
@@ -389,7 +389,7 @@ func TestLookupBorrowContract(t *testing.T) {
 			sd.Seed(mutate(r, ref[start:start+101].Clone(), r.Intn(3)))
 		}
 	}
-	for i, p := range si.positions {
+	for i, p := range si.tab.Positions {
 		if p != snapshot[i] {
 			t.Fatalf("position table mutated through a borrowed Lookup slice at %d: %d -> %d", i, snapshot[i], p)
 		}
