@@ -15,7 +15,13 @@
 // cascade); -compare-engines runs the workload through every engine,
 // prints wall clock, extend-stage busy time, allocations, result-hash
 // equality and the cascade's per-leg routing histogram, and writes the
-// measurements to BENCH_extend.json; -cpuprofile/-memprofile
+// measurements to BENCH_extend.json; -compare-longread runs the kilobase
+// long-read workload (K > 63, every extension on the multi-word wide
+// datapath) through the cycle oracle, the degraded cycle-fallback
+// bitsilla, the wide bitsilla and the cascade, writes BENCH_longread.json,
+// and fails on any oracle hash mismatch or (full workload only) when the
+// wide datapath's extend-stage speedup over the cycle fallback is below
+// bench.SpeedupFloor; -cpuprofile/-memprofile
 // write pprof profiles of the selected experiment (see EXPERIMENTS.md for
 // the profiling workflow); -allocbudget N measures steady-state AlignBatch
 // heap allocations per read after the experiment and exits non-zero when
@@ -55,6 +61,8 @@ func run() int {
 	engine := flag.String("engine", "", "extension engine: bitsilla (default), sillax, banded, genasm, or cascade")
 	compareEngines := flag.Bool("compare-engines", false,
 		"run the workload through every extension engine, print the comparison, and write BENCH_extend.json")
+	compareLongread := flag.Bool("compare-longread", false,
+		"run the kilobase long-read workload (K > 63) through the cycle oracle, cycle-fallback bitsilla, wide bitsilla and cascade, print the comparison, and write BENCH_longread.json")
 	compareSeed := flag.Bool("compare-seed", false,
 		"run the workload through the per-probe and rolling seed paths plus serial/parallel index builds, print the comparison, and write BENCH_seed.json")
 	compareIndex := flag.Bool("compare-index", false,
@@ -79,7 +87,7 @@ func run() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 && !((*compareEngines || *compareSeed || *compareIndex) && flag.NArg() == 0) {
+	if flag.NArg() != 1 && !((*compareEngines || *compareLongread || *compareSeed || *compareIndex) && flag.NArg() == 0) {
 		flag.Usage()
 		return 2
 	}
@@ -105,6 +113,24 @@ func run() int {
 
 	if *compareEngines {
 		if code := runCompareEngines(spec); code != 0 {
+			return code
+		}
+	}
+	if *compareLongread {
+		lr := bench.DefaultLongread()
+		if *quick {
+			lr = bench.QuickLongread()
+		}
+		if *seed != 0 {
+			lr.Seed = *seed
+		}
+		if *genome > 0 {
+			lr.GenomeLen = *genome
+		}
+		if *coverage > 0 {
+			lr.Coverage = *coverage
+		}
+		if code := runCompareLongread(lr, *quick); code != 0 {
 			return code
 		}
 	}
@@ -206,6 +232,42 @@ func runCompareEngines(spec bench.WorkloadSpec) int {
 	fmt.Println("wrote BENCH_extend.json")
 	if !cmp.OracleMatch {
 		fmt.Fprintf(os.Stderr, "genax-bench: engine results diverge from the oracle\n")
+		return 1
+	}
+	return 0
+}
+
+// runCompareLongread measures the long-read workload through every
+// identity-claiming engine configuration, prints the comparison, writes
+// BENCH_longread.json, and fails when any configuration's results diverge
+// from the cycle-level oracle — or, on the full workload, when the wide
+// multi-word datapath's extend-stage advantage over the cycle fallback is
+// below the acceptance floor. The -quick variant gates hash identity only:
+// its workload is too small for a stable speedup measurement.
+func runCompareLongread(spec bench.LongreadSpec, quick bool) int {
+	cmp, err := bench.CompareLongread(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-longread: %v\n", err)
+		return 1
+	}
+	fmt.Println(cmp)
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-longread: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile("BENCH_longread.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-longread: %v\n", err)
+		return 1
+	}
+	fmt.Println("wrote BENCH_longread.json")
+	if !cmp.OracleMatch {
+		fmt.Fprintf(os.Stderr, "genax-bench: long-read engine results diverge from the oracle\n")
+		return 1
+	}
+	if !quick && cmp.WideVsCycle < bench.SpeedupFloor {
+		fmt.Fprintf(os.Stderr, "genax-bench: wide datapath speedup %.2fx is below the %.0fx floor\n",
+			cmp.WideVsCycle, bench.SpeedupFloor)
 		return 1
 	}
 	return 0

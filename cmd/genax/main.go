@@ -389,6 +389,9 @@ func cmdAlign(args []string) error {
 	if err != nil {
 		return err
 	}
+	for _, w := range aligner.Warnings() {
+		fmt.Fprintf(os.Stderr, "genax: warning: %s\n", w)
+	}
 	reads := make([]dna.Seq, len(recs))
 	for i, r := range recs {
 		reads[i] = r.Seq
@@ -427,6 +430,14 @@ func cmdAlign(args []string) error {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "reads=%d aligned=%d exact=%d segments=%d extensions=%d extCycles=%d reruns=%d\n",
 			st.Reads, st.Aligned, st.ExactReads, st.Segments, st.Extensions, st.ExtensionCycles, st.ReRuns)
+		if st.ChainGroups > 0 {
+			fmt.Fprintf(os.Stderr, "anchor chaining: groups=%d anchors=%d kept=%d\n",
+				st.ChainGroups, st.ChainAnchors, st.ChainKept)
+		}
+		if st.EngineFallbacks > 0 {
+			fmt.Fprintf(os.Stderr, "cycle-model fallbacks=%d (degraded engine; see warnings)\n",
+				st.EngineFallbacks)
+		}
 		if st.Routing.Total() > 0 {
 			fmt.Fprintf(os.Stderr, "cascade routing: total=%d certified=%d", st.Routing.Total(), st.Routing.Certified())
 			for l := extend.Leg(0); l < extend.NumLegs; l++ {

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"genax/internal/core"
+	"genax/internal/dna"
+	"genax/internal/sim"
+)
+
+// LongreadSpec sizes the long-read experiment: kilobase reads with
+// indel-heavy errors over a multi-word edit bound (K > 63), the workload
+// the wide bitsilla datapath and the anchor-chaining stage exist for.
+type LongreadSpec struct {
+	Seed           int64
+	GenomeLen      int
+	Coverage       float64
+	MeanReadLen    int
+	ErrorRate      float64
+	IndelErrorFrac float64
+	// K is the edit bound; must exceed bitsilla.MaxWordK so every
+	// extension runs the multi-word datapath.
+	K int
+}
+
+// DefaultLongread is the standard long-read experiment input.
+func DefaultLongread() LongreadSpec {
+	return LongreadSpec{Seed: 9, GenomeLen: 60_000, Coverage: 0.5,
+		MeanReadLen: 1200, ErrorRate: 0.02, IndelErrorFrac: 0.3, K: 80}
+}
+
+// QuickLongread is a fast variant for CI smoke runs.
+func QuickLongread() LongreadSpec {
+	return LongreadSpec{Seed: 9, GenomeLen: 24_000, Coverage: 0.4,
+		MeanReadLen: 800, ErrorRate: 0.02, IndelErrorFrac: 0.3, K: 72}
+}
+
+// Build materializes the long-read workload.
+func (w LongreadSpec) Build() *sim.Workload {
+	return sim.NewLongReadWorkload(w.Seed, w.GenomeLen,
+		sim.DefaultVariantProfile(),
+		sim.LongReadProfile{MeanLength: w.MeanReadLen, Coverage: w.Coverage,
+			ErrorRate: w.ErrorRate, IndelErrorFrac: w.IndelErrorFrac,
+			ReverseFraction: 0.5})
+}
+
+// config scales the GenAx configuration to the long-read workload: the
+// edit bound comes from the spec, and segment overlap covers the longest
+// read SimulateLong draws (3·mean/2) so no alignment straddles a segment
+// boundary unseen.
+func (w LongreadSpec) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.K = w.K
+	cfg.KmerLen = 12
+	cfg.SegmentLen = w.GenomeLen / 4
+	if cfg.SegmentLen < 4096 {
+		cfg.SegmentLen = 4096
+	}
+	cfg.Overlap = 3*w.MeanReadLen/2 + cfg.K + 16
+	return cfg
+}
+
+// LongreadRun is one engine configuration's measurement over the
+// long-read workload. ChainAnchors/ChainKept record the anchor-chaining
+// stage's collapse and EngineFallbacks the cycle-model invocations (zero
+// everywhere but the deliberately degraded bitsilla-cycle row).
+type LongreadRun struct {
+	Engine          string        `json:"engine"`
+	Wall            time.Duration `json:"wall_ns"`
+	ExtendBusy      time.Duration `json:"extend_busy_ns"`
+	Aligned         int           `json:"aligned"`
+	ResultHash      uint64        `json:"result_hash"`
+	MatchesOracle   bool          `json:"matches_oracle"`
+	EngineFallbacks int64         `json:"engine_fallbacks"`
+	ChainAnchors    int64         `json:"chain_anchors"`
+	ChainKept       int64         `json:"chain_kept"`
+}
+
+// LongreadComparison is the -compare-longread report: the same kilobase
+// workload through the cycle-level oracle, the deliberately degraded
+// bitsilla (CycleFallback), the wide multi-word bitsilla, and the
+// cascade. WideVsCycle is the acceptance ratio of PR 9: the wide
+// datapath's extend-busy advantage over the cycle-level fallback at
+// K > 63, gated at ≥ SpeedupFloor for the default workload.
+type LongreadComparison struct {
+	Reads       int           `json:"reads"`
+	K           int           `json:"k"`
+	MeanReadLen int           `json:"mean_read_len"`
+	Runs        []LongreadRun `json:"runs"`
+	// WideVsCycle = bitsilla-cycle extend busy / bitsilla extend busy.
+	WideVsCycle float64 `json:"extend_speedup_wide_vs_cycle"`
+	// WideVsSillaX quotes the wide datapath against the cycle-level
+	// reference machine (a different implementation, same cell model).
+	WideVsSillaX float64 `json:"extend_speedup_wide_vs_sillax"`
+	// OracleMatch reports that every run hashed identically to the
+	// cycle-level oracle — all four configurations claim byte-identity.
+	OracleMatch    bool   `json:"runs_match_oracle"`
+	OracleMismatch string `json:"mismatch,omitempty"`
+}
+
+// SpeedupFloor is the acceptance floor for WideVsCycle on the default
+// long-read workload.
+const SpeedupFloor = 10.0
+
+// longreadConfigs fixes the measurement sequence (oracle first so later
+// runs can be checked against it). Every row claims byte-identity.
+var longreadConfigs = []struct {
+	name          string
+	engine        core.Engine
+	cycleFallback bool
+}{
+	{"sillax", core.EngineSillaX, false},
+	{"bitsilla-cycle", core.EngineBitSilla, true},
+	{"bitsilla", core.EngineBitSilla, false},
+	{"cascade", core.EngineCascade, false},
+}
+
+// CompareLongread runs the kilobase workload through the cycle oracle,
+// the degraded cycle-fallback bitsilla, the wide multi-word bitsilla and
+// the cascade. This is the acceptance harness for the wide datapath:
+// byte-identical results at K > 63, with the extend stage an order of
+// magnitude faster than the cycle model it replaces.
+func CompareLongread(spec LongreadSpec) (LongreadComparison, error) {
+	wl := spec.Build()
+	reads := ReadSeqs(wl)
+	if len(reads) == 0 {
+		return LongreadComparison{}, fmt.Errorf("bench: long-read workload produced no reads")
+	}
+	out := LongreadComparison{Reads: len(reads), K: spec.K, MeanReadLen: spec.MeanReadLen}
+	for _, c := range longreadConfigs {
+		run, err := measureLongread(spec, wl.Ref, reads, c.name, c.engine, c.cycleFallback)
+		if err != nil {
+			return LongreadComparison{}, err
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	oracle := out.Runs[0]
+	out.OracleMatch = true
+	var mismatches []string
+	for i := range out.Runs {
+		out.Runs[i].MatchesOracle = out.Runs[i].ResultHash == oracle.ResultHash
+		if !out.Runs[i].MatchesOracle {
+			out.OracleMatch = false
+			mismatches = append(mismatches, fmt.Sprintf("%s hash %016x != sillax hash %016x",
+				out.Runs[i].Engine, out.Runs[i].ResultHash, oracle.ResultHash))
+		}
+	}
+	out.OracleMismatch = strings.Join(mismatches, "; ")
+	cyc := out.findRun("bitsilla-cycle")
+	wide := out.findRun("bitsilla")
+	if wide != nil && wide.ExtendBusy > 0 {
+		if cyc != nil {
+			out.WideVsCycle = float64(cyc.ExtendBusy) / float64(wide.ExtendBusy)
+		}
+		out.WideVsSillaX = float64(oracle.ExtendBusy) / float64(wide.ExtendBusy)
+	}
+	return out, nil
+}
+
+// findRun returns the named run, or nil.
+func (c *LongreadComparison) findRun(engine string) *LongreadRun {
+	for i := range c.Runs {
+		if c.Runs[i].Engine == engine {
+			return &c.Runs[i]
+		}
+	}
+	return nil
+}
+
+// measureLongread builds an instrumented aligner for one engine
+// configuration, warms the lane scratch with a throwaway batch, then
+// times a second identical batch.
+func measureLongread(spec LongreadSpec, ref dna.Seq, reads []dna.Seq, name string, eng core.Engine, cycleFallback bool) (LongreadRun, error) {
+	cfg := spec.config()
+	cfg.Engine = eng
+	cfg.CycleFallback = cycleFallback
+	inst := &core.Instrument{Now: func() int64 { return time.Now().UnixNano() }}
+	cfg.Instrument = inst
+	aligner, err := core.New(ref, cfg)
+	if err != nil {
+		return LongreadRun{}, err
+	}
+	if res, _ := aligner.AlignBatch(reads); len(res) != len(reads) {
+		return LongreadRun{}, fmt.Errorf("bench: AlignBatch dropped reads")
+	}
+	runtime.GC()
+	busy0 := inst.Extend.BusyNanos.Load()
+	start := time.Now()
+	results, stats := aligner.AlignBatch(reads)
+	wall := time.Since(start)
+	busy := inst.Extend.BusyNanos.Load() - busy0
+
+	hash, aligned := digestResults(results)
+	return LongreadRun{
+		Engine:          name,
+		Wall:            wall,
+		ExtendBusy:      time.Duration(busy),
+		Aligned:         aligned,
+		ResultHash:      hash,
+		EngineFallbacks: stats.EngineFallbacks,
+		ChainAnchors:    stats.ChainAnchors,
+		ChainKept:       stats.ChainKept,
+	}, nil
+}
+
+func (c LongreadComparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "long-read extension comparison (%d reads, mean %d bp, K=%d)\n",
+		c.Reads, c.MeanReadLen, c.K)
+	fmt.Fprintf(&b, "%-15s %12s %12s %8s %10s %16s %7s\n",
+		"engine", "wall", "extendbusy", "aligned", "fallbacks", "resulthash", "=oracle")
+	for _, r := range c.Runs {
+		fmt.Fprintf(&b, "%-15s %12v %12v %8d %10d %016x %7v\n",
+			r.Engine, r.Wall.Round(time.Microsecond), r.ExtendBusy.Round(time.Microsecond),
+			r.Aligned, r.EngineFallbacks, r.ResultHash, r.MatchesOracle)
+	}
+	if wide := c.findRun("bitsilla"); wide != nil && wide.ChainAnchors > 0 {
+		fmt.Fprintf(&b, "anchor chaining: %d anchors -> %d extensions kept\n",
+			wide.ChainAnchors, wide.ChainKept)
+	}
+	fmt.Fprintf(&b, "wide bitsilla vs cycle fallback: extend stage %.2fx (floor %.0fx)\n",
+		c.WideVsCycle, SpeedupFloor)
+	fmt.Fprintf(&b, "wide bitsilla vs sillax oracle: extend stage %.2fx\n", c.WideVsSillaX)
+	if c.OracleMatch {
+		b.WriteString("all engine configurations are byte-identical to the cycle-level oracle")
+	} else {
+		b.WriteString("MISMATCH: " + c.OracleMismatch)
+	}
+	return b.String()
+}

@@ -35,6 +35,12 @@ type StageBreakdown struct {
 	// Routing is the cascade's per-leg extension histogram; all-zero for
 	// engines that do not cascade, and then omitted from the report.
 	Routing extend.Routing
+	// ChainGroups/ChainAnchors/ChainKept report the long-read anchor
+	// chaining collapse; all-zero (and omitted) for short-read workloads.
+	ChainGroups, ChainAnchors, ChainKept int64
+	// EngineFallbacks counts cycle-model engine invocations — nonzero only
+	// under the deliberately degraded CycleFallback configuration.
+	EngineFallbacks int64
 }
 
 func (b StageBreakdown) String() string {
@@ -60,6 +66,13 @@ func (b StageBreakdown) String() string {
 			s := b.Routing.Legs[l]
 			fmt.Fprintf(&sb, "%-10s %10d %10d %10d\n", l, s.Routed, s.Accepted, s.FellThrough)
 		}
+	}
+	if b.ChainGroups > 0 {
+		fmt.Fprintf(&sb, "anchor chaining: %d groups, %d anchors -> %d extensions kept\n",
+			b.ChainGroups, b.ChainAnchors, b.ChainKept)
+	}
+	if b.EngineFallbacks > 0 {
+		fmt.Fprintf(&sb, "cycle-model fallbacks: %d (degraded engine configuration)\n", b.EngineFallbacks)
 	}
 	sb.WriteString("queue depths are sampled at each send into the downstream stage")
 	return sb.String()
@@ -87,11 +100,15 @@ func Stages(spec WorkloadSpec) (StageBreakdown, error) {
 		return StageBreakdown{}, fmt.Errorf("bench: AlignBatch dropped reads")
 	}
 	out := StageBreakdown{
-		Reads:         len(reads),
-		Total:         time.Since(start),
-		IndexBuild:    time.Duration(inst.IndexBuild.BusyNanos.Load()),
-		IndexSegments: inst.IndexBuild.Items.Load(),
-		Routing:       stats.Routing,
+		Reads:           len(reads),
+		Total:           time.Since(start),
+		IndexBuild:      time.Duration(inst.IndexBuild.BusyNanos.Load()),
+		IndexSegments:   inst.IndexBuild.Items.Load(),
+		Routing:         stats.Routing,
+		ChainGroups:     stats.ChainGroups,
+		ChainAnchors:    stats.ChainAnchors,
+		ChainKept:       stats.ChainKept,
+		EngineFallbacks: stats.EngineFallbacks,
 	}
 	rows := []struct {
 		name string

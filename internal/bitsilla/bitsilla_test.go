@@ -52,8 +52,27 @@ func checkSame(t *testing.T, k int, ref, query dna.Seq, got Result, want sillax.
 
 // diffK covers small bounds, the composed-tile bounds of the TileArray
 // (p tiles of base bound b give k = p*(b+1)-1: 9 and 19), the production
-// default 40, and the single-word limit 63.
-var diffK = []int{0, 1, 2, 3, 4, 8, 9, 16, 19, 40, 63}
+// default 40, the single-word limit 63, and multi-word bounds straddling
+// every word edge the wide datapath has: 64/65 (first bit of word 1 and
+// one past it), 127/128 (the word 1 -> word 2 edge) and 191 (three full
+// words).
+var diffK = []int{0, 1, 2, 3, 4, 8, 9, 16, 19, 40, 63, 64, 65, 127, 128, 191}
+
+// diffTrials scales trial counts down as k grows: the sillax oracle moves
+// 7*(k+1)^2 16-byte registers every cycle, so one k=191 trial costs about
+// as much as seventy k=63 trials.
+func diffTrials(k int) int {
+	switch {
+	case k <= MaxWordK:
+		return 120
+	case k < 127:
+		return 30
+	case k < 191:
+		return 12
+	default:
+		return 6
+	}
+}
 
 func TestBitsillaMatchesTracebackRandom(t *testing.T) {
 	r := rand.New(rand.NewSource(60))
@@ -61,7 +80,7 @@ func TestBitsillaMatchesTracebackRandom(t *testing.T) {
 	for _, k := range diffK {
 		bm := New(k, sc)
 		tm := sillax.NewTracebackMachine(k, sc)
-		for trial := 0; trial < 120; trial++ {
+		for trial := 0; trial < diffTrials(k); trial++ {
 			ref := randSeq(r, r.Intn(90))
 			query := mutate(r, ref, r.Intn(k+3))
 			checkSame(t, k, ref, query, bm.Extend(ref, query), tm.Extend(ref, query))
@@ -180,18 +199,32 @@ func TestBitsillaMachineReuse(t *testing.T) {
 	}
 }
 
-// TestBitsillaFallbackLargeK pins the k>MaxWordK fallback onto the cycle
-// model.
-func TestBitsillaFallbackLargeK(t *testing.T) {
+// TestBitsillaCycleFallback pins the explicit cycle-model escape hatch:
+// NewCycleFallback routes every Extend through the sillax oracle (marked
+// via Result.Fallback so the pipeline can count the degrade), while New
+// at the same bound takes the multi-word fast path and must not set the
+// flag.
+func TestBitsillaCycleFallback(t *testing.T) {
 	r := rand.New(rand.NewSource(65))
 	sc := align.BWAMEMDefaults()
-	k := MaxWordK + 1
-	bm := New(k, sc)
-	tm := sillax.NewTracebackMachine(k, sc)
-	for trial := 0; trial < 10; trial++ {
-		ref := randSeq(r, 120)
-		query := mutate(r, ref, r.Intn(20))
-		checkSame(t, k, ref, query, bm.Extend(ref, query), tm.Extend(ref, query))
+	for _, k := range []int{8, MaxWordK + 1} {
+		fb := NewCycleFallback(k, sc)
+		fast := New(k, sc)
+		tm := sillax.NewTracebackMachine(k, sc)
+		for trial := 0; trial < 10; trial++ {
+			ref := randSeq(r, 120)
+			query := mutate(r, ref, r.Intn(20))
+			got := fb.Extend(ref, query)
+			if !got.Fallback {
+				t.Fatalf("k=%d: cycle-fallback machine did not set Result.Fallback", k)
+			}
+			checkSame(t, k, ref, query, got, tm.Extend(ref, query))
+			direct := fast.Extend(ref, query)
+			if direct.Fallback {
+				t.Fatalf("k=%d: New() machine reported Fallback", k)
+			}
+			checkSame(t, k, ref, query, direct, tm.Extend(ref, query))
+		}
 	}
 }
 

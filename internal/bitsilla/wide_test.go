@@ -1,0 +1,239 @@
+package bitsilla
+
+import (
+	"math/rand"
+	"testing"
+
+	"genax/internal/align"
+	"genax/internal/dna"
+	"genax/internal/sillax"
+)
+
+// mutateGappy applies `runs` gap runs of up to maxRun bases each (deletion
+// or insertion, evenly) plus a sprinkle of substitutions. Random point
+// mutations almost never push the diagonal offsets past bit 63, so the
+// cross-word shift paths of the wide datapath are exercised with long
+// coherent gaps instead.
+func mutateGappy(r *rand.Rand, s dna.Seq, maxRun, runs int) dna.Seq {
+	out := s.Clone()
+	for g := 0; g < runs; g++ {
+		if len(out) == 0 {
+			break
+		}
+		p := r.Intn(len(out))
+		run := 1 + r.Intn(maxRun)
+		if r.Intn(2) == 0 { // deletion run
+			if p+run > len(out) {
+				run = len(out) - p
+			}
+			out = append(out[:p], out[p+run:]...)
+		} else { // insertion run
+			ins := randSeq(r, run)
+			out = append(out[:p], append(ins, out[p:]...)...)
+		}
+	}
+	for s := 0; s < 4 && len(out) > 0; s++ {
+		p := r.Intn(len(out))
+		out[p] = dna.Base((int(out[p]) + 1 + r.Intn(3)) % 4)
+	}
+	return out
+}
+
+// TestBitsillaWideGappyRandom drives the multi-word engine with gap-heavy
+// inputs whose diagonal offsets cross word boundaries in both dimensions,
+// differentially against the cycle oracle.
+func TestBitsillaWideGappyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	sc := align.BWAMEMDefaults()
+	for _, tc := range []struct {
+		k, refLen, maxRun, trials int
+	}{
+		{64, 160, 50, 12},
+		{65, 160, 55, 12},
+		{127, 240, 90, 5},
+		{128, 240, 100, 5},
+		{191, 260, 80, 3},
+	} {
+		bm := New(tc.k, sc)
+		tm := sillax.NewTracebackMachine(tc.k, sc)
+		for trial := 0; trial < tc.trials; trial++ {
+			ref := randSeq(r, tc.refLen)
+			query := mutateGappy(r, ref, tc.maxRun, 1+r.Intn(3))
+			checkSame(t, tc.k, ref, query, bm.Extend(ref, query), tm.Extend(ref, query))
+		}
+	}
+}
+
+// TestBitsillaWideMuxCrossings pins the §IV-D composition accounting: a
+// 100-base deletion block pushes the deletion offset through bit 63 of
+// word 0, so the d+1 transitions must cross into word 1 and be counted,
+// while the result stays byte-identical to the oracle. The count itself
+// must be deterministic across machines.
+func TestBitsillaWideMuxCrossings(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	sc := align.BWAMEMDefaults()
+	k := 128
+	// 150-base flanks around a 100-base deletion: the through-alignment
+	// (score 300 - open - 100*ext) beats clipping at the first flank
+	// (score 150), so the optimal path really carries d past bit 63.
+	ref := randSeq(r, 400)
+	query := append(ref[:150].Clone(), ref[250:]...)
+	got := New(k, sc).Extend(ref, query)
+	want := sillax.NewTracebackMachine(k, sc).Extend(ref, query)
+	checkSame(t, k, ref, query, got, want)
+	if got.QueryLen != 300 || got.RefLen != 400 {
+		t.Fatalf("deletion block not aligned through: q=%d r=%d cigar=%s", got.QueryLen, got.RefLen, got.Cigar)
+	}
+	if got.MuxCrossings == 0 {
+		t.Fatal("100-base deletion block crossed no word boundary: MuxCrossings = 0")
+	}
+	again := New(k, sc).Extend(ref, query)
+	if again.MuxCrossings != got.MuxCrossings {
+		t.Fatalf("MuxCrossings nondeterministic: %d then %d", got.MuxCrossings, again.MuxCrossings)
+	}
+
+	// An insertion block moves the i offset across its word boundary
+	// instead: the row-summary striping, not the d-shift, carries it.
+	ins := randSeq(r, 100)
+	query2 := append(ref[:200].Clone(), append(ins, ref[200:]...)...)
+	got2 := New(k, sc).Extend(ref, query2)
+	want2 := sillax.NewTracebackMachine(k, sc).Extend(ref, query2)
+	checkSame(t, k, ref, query2, got2, want2)
+}
+
+// TestBitsillaWideWindowReplay shrinks the checkpoint window far below the
+// walk length so the backward pass must restore checkpoints and re-execute
+// windows to regenerate evicted trail slots. Results must match both the
+// oracle and a default-window machine, and the machine must stay reusable
+// after a replay-heavy walk.
+func TestBitsillaWideWindowReplay(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	sc := align.BWAMEMDefaults()
+	for _, winC := range []int{2, 3, 7} {
+		bm := New(64, sc)
+		bm.wide.winC = winC
+		ref := New(64, sc) // default-window reference machine
+		tm := sillax.NewTracebackMachine(64, sc)
+		for trial := 0; trial < 12; trial++ {
+			rs := randSeq(r, 120+r.Intn(60))
+			qs := mutateGappy(r, rs, 40, 1+r.Intn(2))
+			got := bm.Extend(rs, qs)
+			want := tm.Extend(rs, qs)
+			checkSame(t, 64, rs, qs, got, want)
+			def := ref.Extend(rs, qs)
+			if def.Score != got.Score || def.Cigar.String() != got.Cigar.String() ||
+				def.MuxCrossings != got.MuxCrossings {
+				t.Fatalf("winC=%d diverges from default window: (%d %s mux=%d) vs (%d %s mux=%d)",
+					winC, got.Score, got.Cigar, got.MuxCrossings,
+					def.Score, def.Cigar, def.MuxCrossings)
+			}
+		}
+	}
+}
+
+// TestBitsillaWideAltScoring varies the affine scheme at multi-word bounds
+// so the delayed-merging priorities race identically across word edges.
+func TestBitsillaWideAltScoring(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	for _, sc := range []align.Scoring{
+		{Match: 2, Mismatch: 3, GapOpen: 5, GapExtend: 2},
+		{Match: 1, Mismatch: 1, GapOpen: 1, GapExtend: 1},
+	} {
+		for _, k := range []int{64, 127} {
+			bm := New(k, sc)
+			tm := sillax.NewTracebackMachine(k, sc)
+			for trial := 0; trial < 6; trial++ {
+				ref := randSeq(r, 140)
+				query := mutateGappy(r, ref, 60, 1+r.Intn(2))
+				checkSame(t, k, ref, query, bm.Extend(ref, query), tm.Extend(ref, query))
+			}
+		}
+	}
+}
+
+func TestBitsillaWideCycleAccounting(t *testing.T) {
+	sc := align.BWAMEMDefaults()
+	k := 96
+	bm := New(k, sc)
+	ref := randSeq(rand.New(rand.NewSource(94)), 200)
+	res := bm.Extend(ref, ref)
+	want := sillax.StreamCycles(len(ref), len(ref), k) + 1 + 4*k
+	if res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.Fallback {
+		t.Fatal("wide path reported Fallback")
+	}
+}
+
+// TestBitsillaWideSteadyStateAllocs pins the warm wide path: once the
+// trail ring and checkpoints are grown, Extend allocates nothing beyond
+// the Cigar reversal.
+func TestBitsillaWideSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(95))
+	sc := align.BWAMEMDefaults()
+	bm := New(96, sc)
+	ref := randSeq(r, 300)
+	query := mutateGappy(r, ref, 70, 2)
+	bm.Extend(ref, query) // grow ring + checkpoints + walk scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		bm.Extend(ref, query)
+	})
+	if allocs > 1 { // the fresh Cigar reversal
+		t.Fatalf("steady-state wide Extend allocates %.1f times per call, want <= 1", allocs)
+	}
+}
+
+// TestBitsillaWideMachineReuse alternates disparate inputs through one
+// machine; stale liveness or trail bits from a prior call would surface as
+// oracle divergence.
+func TestBitsillaWideMachineReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	sc := align.BWAMEMDefaults()
+	bm := New(80, sc)
+	tm := sillax.NewTracebackMachine(80, sc)
+	for trial := 0; trial < 12; trial++ {
+		var ref, query dna.Seq
+		switch trial % 3 {
+		case 0:
+			ref = randSeq(r, 250)
+			query = mutateGappy(r, ref, 70, 2)
+		case 1:
+			ref = randSeq(r, 10)
+			query = randSeq(r, 10)
+		default:
+			ref = randSeq(r, 120)
+			query = mutate(r, ref, r.Intn(12))
+		}
+		checkSame(t, 80, ref, query, bm.Extend(ref, query), tm.Extend(ref, query))
+	}
+}
+
+// TestBitsillaWideEdgeCases mirrors the single-word edge table at a
+// multi-word bound.
+func TestBitsillaWideEdgeCases(t *testing.T) {
+	sc := align.BWAMEMDefaults()
+	tm := sillax.NewTracebackMachine(70, sc)
+	bm := New(70, sc)
+	for _, tc := range []struct{ ref, query dna.Seq }{
+		{nil, nil},
+		{nil, dna.Seq{0, 1, 2, 3}},
+		{dna.Seq{0, 1, 2, 3}, nil},
+		{dna.Seq{2}, dna.Seq{2}},
+		{dna.Seq{2}, dna.Seq{3}},
+	} {
+		checkSame(t, 70, tc.ref, tc.query, bm.Extend(tc.ref, tc.query), tm.Extend(tc.ref, tc.query))
+	}
+}
+
+func BenchmarkExtendWide(b *testing.B) {
+	r := rand.New(rand.NewSource(97))
+	sc := align.BWAMEMDefaults()
+	ref := randSeq(r, 1400)
+	query := mutateGappy(r, ref[:1200], 60, 3)
+	m := New(96, sc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Extend(ref, query)
+	}
+}

@@ -1,0 +1,279 @@
+package bitsilla
+
+// The witness prepass of the wide datapath. Futility pruning against the
+// running best is structurally toothless on long reads: at cycle c the
+// best is ≈ a·c while the completion bound grants a·(cycles remaining) of
+// slack, so every state in the (i+d <= K) triangle survives until the
+// read's tail and the scan degenerates to the cycle model's dense sweep.
+// Pruning against a certified lower bound L on the PASS'S FINAL score is
+// just as exact — see the invariants below — and for a well-matching read
+// a near-optimal L collapses the live set to a narrow corridor around the
+// true alignment for the whole pass.
+//
+// Exactness: an offer of value v into a cell with min(remR, remQ) = rem
+// can contribute at most v + a·rem to the final best (every remaining
+// cycle gains at most a). Dropping offers with v + a·rem < L keeps every
+// cell of every final-score-achieving chain (those have v + a·rem >= S >=
+// L), and the value-determining ancestry of such cells is closed under the
+// same property — a predecessor's bound is never below its successor's.
+// Offers of equal value into the same cell share coordinates and therefore
+// share prune status, so the strict-greater races that pick trail codes
+// are decided among exactly the same contenders; the reported best, its
+// chain, and every trail word the walk reads are byte-identical to the
+// unpruned pass for ANY L <= S. L > S would be unsound; L is therefore
+// always the score of one concrete machine-legal witness alignment.
+//
+// The witness is a banded affine extension DP over diagonals
+// |qPos - refPos| <= wideBandHalf, anchored at the origin like the
+// machine, scored with the machine's costs, free to end anywhere (the
+// machine clips the query tail for free). Machine legality is enforced by
+// carrying each cell's edit budget u = i + d + layer: every substitution,
+// insertion and deletion costs one unit (exactly the i+d+1+layer <= k
+// branch guards of stepWide) and cells whose budget exceeds K are killed —
+// the budget is monotone along a path, so a killed prefix can never
+// redeem itself. Only closed cells (last op match or substitution) feed L,
+// because the machine never records a best from its gap planes. Paths the
+// band or the budget cannot reach only lower L, never break it.
+
+import "genax/internal/dna"
+
+// wideBandHalf is the diagonal half-width of the witness prepass. Wide
+// enough for the cumulative indel drift of a kilobase read; drift beyond
+// it costs pruning sharpness, never correctness.
+const wideBandHalf = 32
+
+// wideBandW is the witness band width in diagonals.
+const wideBandW = 2*wideBandHalf + 1
+
+// wideBoundBuf is the witness DP's rolling state: previous-row closed (h),
+// insertion (i) and deletion (d) scores with their edit budgets, plus the
+// next row's h/i staging. Fixed-size — the prepass never allocates.
+type wideBoundBuf struct {
+	h, i, d    [wideBandW]int32
+	uh, ui, ud [wideBandW]int32
+	h2, i2     [wideBandW]int32
+	uh2, ui2   [wideBandW]int32
+}
+
+// wideBound computes the certified lower bound L for one extension.
+//
+//genax:hotpath
+func (m *Machine) wideBound(ref, query dna.Seq) int32 {
+	n, qn := len(ref), len(query)
+	if n == 0 || qn == 0 {
+		return 0
+	}
+	a, b, open, ext := m.cs.A, m.cs.B, m.cs.Open, m.cs.Ext
+	k := int32(m.k)
+	pp := &m.wide.pp
+	const B = wideBandHalf
+
+	for j := 0; j < wideBandW; j++ {
+		pp.h[j], pp.i[j], pp.d[j] = negScore, negScore, negScore
+	}
+	pp.h[B], pp.uh[B] = 0, 0
+	// Leading deletions: ref consumed before any query, descending so each
+	// cell sees the fresher deletion one diagonal up.
+	for j := B - 1; j >= 0; j-- {
+		r := B - j // = -delta = ref bases consumed
+		if r > n {
+			break
+		}
+		v, u := negScore, int32(0)
+		if pp.h[j+1] > negScore {
+			v, u = pp.h[j+1]-open, pp.uh[j+1]+1
+		}
+		if pp.d[j+1] > negScore && pp.d[j+1]-ext > v {
+			v, u = pp.d[j+1]-ext, pp.ud[j+1]+1
+		}
+		if v > negScore && u <= k {
+			pp.d[j], pp.ud[j] = v, u
+		}
+	}
+
+	best := int32(0)
+	for q := 1; q <= qn; q++ {
+		qb := query[q-1] & 3
+		for j := 0; j < wideBandW; j++ {
+			r := q - (j - B)
+			hv, hu := negScore, int32(0)
+			iv, iu := negScore, int32(0)
+			// Insertion: consume query only, from one diagonal down in the
+			// previous row; gap-switch from a deletion opens a fresh gap.
+			if j > 0 && r >= 0 && r <= n {
+				if pp.h[j-1] > negScore {
+					iv, iu = pp.h[j-1]-open, pp.uh[j-1]+1
+				}
+				if pp.i[j-1] > negScore && pp.i[j-1]-ext > iv {
+					iv, iu = pp.i[j-1]-ext, pp.ui[j-1]+1
+				}
+				if pp.d[j-1] > negScore && pp.d[j-1]-open > iv {
+					iv, iu = pp.d[j-1]-open, pp.ud[j-1]+1
+				}
+				if iv > negScore && iu > k {
+					iv = negScore
+				}
+			}
+			// Closed: consume both, from the same diagonal in the previous
+			// row, out of whichever state scored best (smaller budget on
+			// ties — same score, strictly more headroom).
+			if r >= 1 && r <= n {
+				pv, pu := pp.h[j], pp.uh[j]
+				if pp.i[j] > pv || (pp.i[j] == pv && pp.i[j] > negScore && pp.ui[j] < pu) {
+					pv, pu = pp.i[j], pp.ui[j]
+				}
+				if pp.d[j] > pv || (pp.d[j] == pv && pp.d[j] > negScore && pp.ud[j] < pu) {
+					pv, pu = pp.d[j], pp.ud[j]
+				}
+				if pv > negScore {
+					if qb == ref[r-1]&3 {
+						hv, hu = pv+a, pu
+					} else {
+						hv, hu = pv-b, pu+1
+					}
+					if hu > k {
+						hv = negScore
+					}
+				}
+			}
+			pp.h2[j], pp.uh2[j] = hv, hu
+			pp.i2[j], pp.ui2[j] = iv, iu
+			if hv > best {
+				best = hv
+			}
+		}
+		// Deletion sweep: consume ref only, within the current row,
+		// descending so diagonal delta feeds delta-1.
+		for j := wideBandW - 1; j >= 0; j-- {
+			r := q - (j - B)
+			v, u := negScore, int32(0)
+			if r >= 1 && r <= n && j+1 < wideBandW {
+				if pp.h2[j+1] > negScore {
+					v, u = pp.h2[j+1]-open, pp.uh2[j+1]+1
+				}
+				if pp.i2[j+1] > negScore && pp.i2[j+1]-open > v {
+					v, u = pp.i2[j+1]-open, pp.ui2[j+1]+1
+				}
+				if pp.d[j+1] > negScore && pp.d[j+1]-ext > v {
+					v, u = pp.d[j+1]-ext, pp.ud[j+1]+1
+				}
+				if v > negScore && u > k {
+					v = negScore
+				}
+			}
+			pp.d[j], pp.ud[j] = v, u
+		}
+		pp.h, pp.uh = pp.h2, pp.uh2
+		pp.i, pp.ui = pp.i2, pp.ui2
+	}
+	return best
+}
+
+// wideSuffixFree marks suffix-table cells whose ref position is outside
+// the lattice; the huge value makes the suffix threshold vacuous there,
+// deferring to the generic remaining-matches floor.
+const wideSuffixFree = int32(1) << 28
+
+// wideSuffixBound fills the suffix bound table for one extension: for
+// every position (refPos, qPos) with |refPos - qPos| <= K and entry state
+// (closed, insertion, deletion), an UPPER bound on the score any state
+// there can still add — the free-end banded affine DP run backward, with
+// no edit budget (dropping a constraint only raises an upper bound). A
+// state of value v at that position can contribute at most v + U to the
+// pass's final best, so offers with v + U < L die without touching
+// anything the witness argument protects: a cell on any final-score-
+// achieving chain has v + achievable >= S, and U >= achievable by
+// soundness, so the whole value-determining ancestry clears the
+// threshold. The closed bound is floored at zero because a closed value
+// was already a best candidate when written — that floor is what keeps
+// every potential recording alive.
+//
+// The band is the FULL +-K diagonal range, not the witness prepass's
+// narrow corridor: every machine path keeps |d - i| <= i + d <= K, so a
+// position outside the band is unreachable and a move across the band
+// edge is machine-illegal — the boundary is a true -inf, which is what
+// makes the interior tight. (A generous band-exit bound would leak
+// inward at -ext per diagonal and cap the whole table near the generic
+// floor.) Layout: (qPos*(2K+1) + j)*3 + state, with
+// j = refPos - qPos + K and states closed/ins/del.
+func (m *Machine) wideSuffixBound(ref, query dna.Seq) {
+	n, qn := len(ref), len(query)
+	a, b, open, ext := m.cs.A, m.cs.B, m.cs.Open, m.cs.Ext
+	kk := m.k
+	w := 2*kk + 1
+	need := (qn + 1) * w * 3
+	wd := m.wide
+	if cap(wd.stab) < need {
+		wd.stab = make([]int32, need)
+	}
+	tab := wd.stab[:need]
+	wd.stab = tab
+	// Query exhausted: nothing can close (a close consumes query), so
+	// gap states have no future and closed states gain nothing more.
+	for j := 0; j < w; j++ {
+		r := qn + j - kk
+		o := (qn*w + j) * 3
+		if r < 0 || r > n {
+			tab[o], tab[o+1], tab[o+2] = wideSuffixFree, wideSuffixFree, wideSuffixFree
+			continue
+		}
+		tab[o], tab[o+1], tab[o+2] = 0, negScore, negScore
+	}
+	for q := qn - 1; q >= 0; q-- {
+		row, nxt := q*w*3, (q+1)*w*3
+		for j := w - 1; j >= 0; j-- {
+			r := q + j - kk
+			o := row + j*3
+			if r < 0 || r > n {
+				tab[o], tab[o+1], tab[o+2] = wideSuffixFree, wideSuffixFree, wideSuffixFree
+				continue
+			}
+			// Close: consume both, same diagonal in the next row.
+			dg := int32(negScore)
+			if r < n {
+				nm := tab[nxt+j*3]
+				if ref[r]&3 == query[q]&3 {
+					dg = nm + a
+				} else {
+					dg = nm - b
+				}
+			}
+			// Insertion entry: consume query, one diagonal down in the
+			// next row. A band exit is machine-illegal, never bounded.
+			uin := int32(negScore)
+			if j > 0 {
+				uin = tab[nxt+(j-1)*3+1]
+			}
+			// Deletion entry: consume ref, within this row; computed
+			// first by the descending sweep.
+			udn := int32(negScore)
+			if r < n && j+1 < w {
+				udn = tab[row+(j+1)*3+2]
+			}
+			um := int32(0)
+			if dg > um {
+				um = dg
+			}
+			ui, ud := dg, dg
+			if v := uin - open; v > um {
+				um = v
+			}
+			if v := udn - open; v > um {
+				um = v
+			}
+			if v := uin - ext; v > ui {
+				ui = v
+			}
+			if v := udn - open; v > ui {
+				ui = v
+			}
+			if v := uin - open; v > ud {
+				ud = v
+			}
+			if v := udn - ext; v > ud {
+				ud = v
+			}
+			tab[o], tab[o+1], tab[o+2] = um, ui, ud
+		}
+	}
+}

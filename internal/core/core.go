@@ -82,6 +82,15 @@ type Config struct {
 	// MaxCandidates caps extension candidates per (read, strand, segment)
 	// after deduplication (0 = unlimited).
 	MaxCandidates int
+	// ChainMinLen gates the long-read anchor-chaining pass by read length
+	// (0 = pipeline.DefaultChainMinLen, negative = disabled); see
+	// pipeline.Params.ChainMinLen.
+	ChainMinLen int
+	// CycleFallback forces the bitsilla engine onto the cycle-level
+	// model; kept for benchmarking the degrade the multi-word datapath
+	// replaced. Counted in Stats.EngineFallbacks and surfaced by
+	// Warnings.
+	CycleFallback bool
 	// StreamWindow bounds reads in flight per AlignStream window
 	// (0 = pipeline.DefaultWindow).
 	StreamWindow int
@@ -161,6 +170,8 @@ func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 		SeedLanes:     cfg.SeedLanes,
 		ExtendLanes:   cfg.ExtendLanes,
 		MaxCandidates: cfg.MaxCandidates,
+		ChainMinLen:   cfg.ChainMinLen,
+		CycleFallback: cfg.CycleFallback,
 		Window:        cfg.StreamWindow,
 		Instrument:    cfg.Instrument,
 		Residency:     cfg.Residency,
@@ -173,6 +184,10 @@ func New(ref dna.Seq, cfg Config) (*Aligner, error) {
 
 // Config returns the configuration.
 func (a *Aligner) Config() Config { return a.cfg }
+
+// Warnings reports configuration hazards worth a log line (degraded
+// engines and the like); empty for a healthy configuration.
+func (a *Aligner) Warnings() []string { return a.pipe.Warnings() }
 
 // Ref returns the reference.
 func (a *Aligner) Ref() dna.Seq { return a.ref }

@@ -30,6 +30,7 @@ import (
 var Packages = map[string]bool{
 	"genax/internal/align":    true,
 	"genax/internal/bitsilla": true,
+	"genax/internal/chain":    true,
 	"genax/internal/core":     true,
 	"genax/internal/extend":   true,
 	"genax/internal/genasm":   true,

@@ -1,0 +1,204 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"genax/internal/dna"
+	"genax/internal/seed"
+	"genax/internal/sim"
+)
+
+// longReadPipeline builds a Pipeline over a kilobase-read workload with a
+// multi-word edit bound, so the chaining pass and the wide bitsilla
+// datapath are both on the executed path.
+func longReadPipeline(t *testing.T, p Params, seedVal int64) (*Pipeline, *sim.Workload) {
+	t.Helper()
+	wl := sim.NewLongReadWorkload(seedVal, 28000,
+		sim.VariantProfile{SNPRate: 0.001, IndelRate: 0.0002, MaxIndel: 6},
+		sim.LongReadProfile{MeanLength: 1100, Coverage: 0.9, ErrorRate: 0.05, IndelErrorFrac: 0.7, ReverseFraction: 0.5})
+	idx, err := seed.BuildSegmentedIndex(wl.Ref, 14336, 1800, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(wl.Ref, idx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, wl
+}
+
+func longParams() Params {
+	p := smallParams()
+	p.K = 64 // multi-word bound: the wide datapath serves every extension
+	return p
+}
+
+// TestChainingSerialParallelIdentical is the chaining determinism gate:
+// anchor chains collapse identically no matter how many lanes ran or how
+// batches interleaved — serial batch, parallel batch and small-window
+// stream must agree byte for byte, including the chain work counters.
+func TestChainingSerialParallelIdentical(t *testing.T) {
+	p := longParams()
+	p.SeedLanes, p.ExtendLanes, p.FilterLanes = 1, 1, 1
+	base, wl := longReadPipeline(t, p, 420)
+	reads := workloadReads(wl, 18)
+	want, wantStats := base.AlignBatch(reads)
+	if wantStats.ChainGroups == 0 || wantStats.ChainKept == 0 {
+		t.Fatalf("chaining not exercised: stats %+v", wantStats)
+	}
+	if wantStats.ChainKept >= wantStats.ChainAnchors {
+		t.Fatalf("chaining collapsed nothing: %d anchors -> %d kept", wantStats.ChainAnchors, wantStats.ChainKept)
+	}
+
+	for _, tc := range []struct {
+		name                   string
+		seedLanes, extendLanes int
+		window                 int // 0 = batch
+	}{
+		{"4x2-batch", 4, 2, 0},
+		{"4x2-window8", 4, 2, 8},
+	} {
+		pp := longParams()
+		pp.SeedLanes, pp.ExtendLanes = tc.seedLanes, tc.extendLanes
+		if tc.window > 0 {
+			pp.Window = tc.window
+		}
+		pl, err := New(base.ref, base.index, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []ReadResult
+		var stats Stats
+		if tc.window == 0 {
+			got, stats = pl.AlignBatch(reads)
+		} else {
+			in := make(chan dna.Seq, len(reads))
+			for _, r := range reads {
+				in <- r
+			}
+			close(in)
+			out, sp := pl.AlignStream(context.Background(), in)
+			for rr := range out {
+				got = append(got, rr)
+			}
+			stats = *sp
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", tc.name, len(got), len(want))
+		}
+		for i := range want {
+			sameResult(t, tc.name, i, got[i], want[i])
+		}
+		if stats.ChainGroups != wantStats.ChainGroups ||
+			stats.ChainAnchors != wantStats.ChainAnchors ||
+			stats.ChainKept != wantStats.ChainKept {
+			t.Errorf("%s: chain stats (%d %d %d), want (%d %d %d)", tc.name,
+				stats.ChainGroups, stats.ChainAnchors, stats.ChainKept,
+				wantStats.ChainGroups, wantStats.ChainAnchors, wantStats.ChainKept)
+		}
+	}
+}
+
+// TestChainingReducesExtensions pins the point of the stage: with
+// chaining, long reads reach the extend lanes with fewer candidates, and
+// alignment outcomes survive the collapse.
+func TestChainingReducesExtensions(t *testing.T) {
+	off := longParams()
+	off.ChainMinLen = -1
+	plOff, wl := longReadPipeline(t, off, 421)
+	reads := workloadReads(wl, 14)
+	resOff, statsOff := plOff.AlignBatch(reads)
+
+	on := longParams()
+	plOn, err := New(plOff.ref, plOff.index, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOn, statsOn := plOn.AlignBatch(reads)
+
+	if statsOff.ChainGroups != 0 {
+		t.Fatalf("ChainMinLen=-1 still chained %d groups", statsOff.ChainGroups)
+	}
+	if statsOn.Extensions >= statsOff.Extensions {
+		t.Fatalf("chaining did not reduce extensions: %d with vs %d without", statsOn.Extensions, statsOff.Extensions)
+	}
+	alignedOff, alignedOn := 0, 0
+	for i := range resOff {
+		if resOff[i].Aligned {
+			alignedOff++
+		}
+		if resOn[i].Aligned {
+			alignedOn++
+		}
+	}
+	if alignedOff == 0 {
+		t.Fatal("baseline aligned nothing; workload too hard")
+	}
+	if alignedOn*10 < alignedOff*9 {
+		t.Fatalf("chaining lost alignments: %d/%d vs %d/%d", alignedOn, len(reads), alignedOff, len(reads))
+	}
+}
+
+// TestChainingShortReadsUntouched guards the short-read hash gates: at
+// the default gate no 101 bp read is ever chained, so results are byte
+// for byte those of a chaining-disabled pipeline.
+func TestChainingShortReadsUntouched(t *testing.T) {
+	p := smallParams()
+	base, wl := testPipeline(t, p, 422, 30000, 0.02)
+	reads := workloadReads(wl, 80)
+	want, wantStats := base.AlignBatch(reads) // default gate (1000)
+	if wantStats.ChainGroups != 0 || wantStats.ChainAnchors != 0 {
+		t.Fatalf("short reads were chained: %+v", wantStats)
+	}
+	off := smallParams()
+	off.ChainMinLen = -1
+	plOff, err := New(base.ref, base.index, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats := plOff.AlignBatch(reads)
+	for i := range want {
+		sameResult(t, "chain-off", i, got[i], want[i])
+	}
+	if gotStats.Extensions != wantStats.Extensions {
+		t.Errorf("extension counts differ: %d vs %d", gotStats.Extensions, wantStats.Extensions)
+	}
+}
+
+// TestCycleFallbackCountedAndWarned pins the anti-silent-degrade
+// satellite: a forced cycle-model engine produces byte-identical results,
+// counts every extension in EngineFallbacks, and surfaces a warning at
+// construction; the healthy configuration reports neither.
+func TestCycleFallbackCountedAndWarned(t *testing.T) {
+	p := smallParams()
+	base, wl := testPipeline(t, p, 423, 20000, 0.02)
+	reads := workloadReads(wl, 60)
+	want, wantStats := base.AlignBatch(reads)
+	if len(base.Warnings()) != 0 {
+		t.Fatalf("healthy pipeline warns: %v", base.Warnings())
+	}
+	if wantStats.EngineFallbacks != 0 {
+		t.Fatalf("healthy pipeline counted %d fallbacks", wantStats.EngineFallbacks)
+	}
+
+	fp := smallParams()
+	fp.CycleFallback = true
+	pl, err := New(base.ref, base.index, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := pl.Warnings(); len(w) != 1 {
+		t.Fatalf("degraded pipeline warnings = %v, want one", w)
+	}
+	got, stats := pl.AlignBatch(reads)
+	for i := range want {
+		sameResult(t, "cycle-fallback", i, got[i], want[i])
+	}
+	// The stitcher invokes the engine once or twice per extension (left
+	// and right legs), and every invocation must have been counted.
+	if stats.Extensions == 0 || stats.EngineFallbacks < stats.Extensions ||
+		stats.EngineFallbacks > 2*stats.Extensions {
+		t.Fatalf("EngineFallbacks = %d with %d extensions, want within [n, 2n]", stats.EngineFallbacks, stats.Extensions)
+	}
+}

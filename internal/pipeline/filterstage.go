@@ -1,14 +1,28 @@
 package pipeline
 
+import "genax/internal/chain"
+
 // filterLane is one FilterStage worker's persistent state: the anchor
-// dedup set, reused across batches.
+// dedup set and the long-read chainer, reused across batches, plus the
+// lane-local work counters merged into the pipeline stats at drain time.
 type filterLane struct {
 	anchors map[int64]struct{}
 	max     int // hit-set threshold per (read, strand); 0 = unlimited
+
+	// chainMin gates the chaining pass by read length (<= 0 disables);
+	// maxGap is the edit bound K — the diagonal drift one gapped
+	// extension can reconcile.
+	chainMin int
+	maxGap   int32
+	chainer  chain.Chainer
+	stats    Stats
 }
 
 func (p *Pipeline) newFilterLane() *filterLane {
-	return &filterLane{anchors: make(map[int64]struct{}), max: p.params.MaxCandidates}
+	f := &filterLane{anchors: make(map[int64]struct{}), max: p.params.MaxCandidates}
+	f.chainMin = p.params.ChainMinLen
+	f.maxGap = int32(p.params.K)
+	return f
 }
 
 // filter compacts a batch in place: exact-match candidates short-circuit
@@ -19,6 +33,12 @@ func (p *Pipeline) newFilterLane() *filterLane {
 // at the hit-set threshold. Candidates arrive grouped by (read, strand);
 // the dedup set resets at each group boundary, reproducing the fused
 // loop's per-(read, strand, segment) anchor set exactly.
+//
+// For reads at or above chainMin a second pass chains each surviving
+// group's anchors (collinear within maxGap drift = one alignment) and
+// keeps one representative per chain: without it, a 10 kb read's seeds
+// land on dozens of indel-shifted diagonals per locus, and every diagonal
+// the dedup keeps costs a full gapped extension of the whole read.
 //
 //genax:hotpath
 func (f *filterLane) filter(b *batch) {
@@ -44,6 +64,49 @@ func (f *filterLane) filter(b *batch) {
 			kept++
 		}
 		out = append(out, c)
+	}
+	b.cands = out
+	if f.chainMin > 0 {
+		f.chainGroups(b)
+	}
+}
+
+// chainGroups runs the chaining pass over a filtered batch: each
+// contiguous (read, strand) group of extension candidates belonging to a
+// long read is collapsed to its chain representatives, compacting
+// b.cands in place (forward copies only — the write cursor never passes
+// the read cursor). Group contents are deterministic (canonical batch
+// order), and chain.Collapse is order-independent on top of that, so
+// serial and parallel pipelines keep identical candidate sets.
+//
+//genax:hotpath
+func (f *filterLane) chainGroups(b *batch) {
+	cands := b.cands
+	n := len(cands)
+	out := cands[:0]
+	for g0 := 0; g0 < n; {
+		g1 := g0 + 1
+		for g1 < n && cands[g1].read == cands[g0].read && cands[g1].flags == cands[g0].flags {
+			g1++
+		}
+		if cands[g0].flags&candExact != 0 || g1-g0 < 2 ||
+			len(b.win.reads[cands[g0].read]) < f.chainMin {
+			out = append(out, cands[g0:g1]...)
+			g0 = g1
+			continue
+		}
+		f.chainer.Reset()
+		for i := g0; i < g1; i++ {
+			f.chainer.Add(cands[i].seedStart, cands[i].seedEnd, cands[i].refPos)
+		}
+		keep := f.chainer.Collapse(f.maxGap)
+		for _, ki := range keep {
+			out = append(out, cands[g0+int(ki)])
+		}
+		f.stats.ChainGroups++
+		f.stats.ChainAnchors += int64(g1 - g0)
+		f.stats.ChainKept += int64(len(keep))
+		g0 = g1
 	}
 	b.cands = out
 }
@@ -75,4 +138,7 @@ func (p *Pipeline) filterWorker(pl *pool) {
 			inst.Filter.sample(len(pl.extendIn[lane]))
 		}
 	}
+	pl.mu.Lock()
+	pl.stats.merge(f.stats)
+	pl.mu.Unlock()
 }

@@ -49,6 +49,13 @@ const (
 // DefaultWindow bounds the reads a stream holds in flight per window.
 const DefaultWindow = 1024
 
+// DefaultChainMinLen is the read length at which anchor chaining kicks in
+// when Params.ChainMinLen is zero: long enough that every short-read
+// workload (~100-300 bp) is byte-identical with chaining compiled in, and
+// well below the 10 kb+ reads whose per-locus anchor counts make the
+// extension stage quadratic without it.
+const DefaultChainMinLen = 1000
+
 // Engine names the extension engine backing the extend lanes. All engines
 // produce full-query cigars through the same extend.Stitcher; bitsilla,
 // sillax, genasm and cascade are byte-identical to one another by
@@ -101,6 +108,18 @@ type Params struct {
 	// (read, strand, segment) after deduplication — the filter stage's
 	// hit-set threshold. 0 keeps every candidate.
 	MaxCandidates int
+	// ChainMinLen gates the filter stage's anchor-chaining pass: reads at
+	// least this long have their per-(read, strand, segment) candidate
+	// groups chained (internal/chain) and collapsed to one representative
+	// per chain before extension. 0 applies DefaultChainMinLen — high
+	// enough that short-read workloads are untouched byte for byte;
+	// negative disables chaining entirely.
+	ChainMinLen int
+	// CycleFallback forces the bitsilla engine onto the cycle-level model
+	// (bitsilla.NewCycleFallback) — the pre-multi-word degrade path, kept
+	// for benchmarking the fallback cost and counted per extension in
+	// Stats.EngineFallbacks. Ignored by other engines.
+	CycleFallback bool
 	// Window bounds reads in flight per AlignStream window (0 = DefaultWindow).
 	Window int
 	// Instrument, when non-nil, collects per-stage busy time and queue
@@ -198,6 +217,9 @@ func New(ref dna.Seq, index *seed.SegmentedIndex, p Params) (*Pipeline, error) {
 	if p.Window <= 0 {
 		p.Window = DefaultWindow
 	}
+	if p.ChainMinLen == 0 {
+		p.ChainMinLen = DefaultChainMinLen
+	}
 	pl := &Pipeline{params: p, ref: ref, index: index}
 	pl.singles.New = func() any { return newSingleLane(pl) }
 	return pl, nil
@@ -205,6 +227,17 @@ func New(ref dna.Seq, index *seed.SegmentedIndex, p Params) (*Pipeline, error) {
 
 // Params returns the resolved configuration.
 func (p *Pipeline) Params() Params { return p.params }
+
+// Warnings reports configuration hazards worth a log line: conditions
+// that keep results correct but silently cost large constant factors.
+// Computed from the resolved params, so it is stable across calls.
+func (p *Pipeline) Warnings() []string {
+	var w []string
+	if p.params.CycleFallback && (p.params.Engine == EngineBitSilla || p.params.Engine == "") {
+		w = append(w, fmt.Sprintf("engine %q degraded to the cycle-level model (CycleFallback): expect ~25x slower extension; fallbacks are counted in Stats.EngineFallbacks", p.params.Engine))
+	}
+	return w
+}
 
 // NumSegments returns the segment count of the bound index.
 func (p *Pipeline) NumSegments() int { return p.index.NumSegments() }

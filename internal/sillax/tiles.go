@@ -99,12 +99,16 @@ func (ta *TileArray) Compose(k int) (*ComposedEditMachine, error) {
 			}
 		}
 	}
-	for _, id := range need {
+	// Claim with rollback: a conflict mid-allocation releases every tile
+	// this composition already took, so a failed Compose never leaks —
+	// the die is exactly as free afterwards as it was before the call.
+	for n, id := range need {
 		if ta.used[id] {
+			for _, claimed := range need[:n] {
+				delete(ta.used, claimed)
+			}
 			return nil, fmt.Errorf("sillax: tile %v already allocated", id)
 		}
-	}
-	for _, id := range need {
 		ta.used[id] = true
 	}
 	return newComposedEditMachine(ta.baseK, k, need), nil

@@ -120,3 +120,62 @@ func TestReleaseReturnsTiles(t *testing.T) {
 		t.Errorf("recompose after release: %v", err)
 	}
 }
+
+// TestComposeFailureLeaksNothing pins the claim-with-rollback contract:
+// driving the die to exhaustion, a composition that fails mid-allocation
+// must leave the free pool untouched, and releasing what did compose must
+// restore the whole die for reuse.
+func TestComposeFailureLeaksNothing(t *testing.T) {
+	ta := NewTileArray(4, 2)
+	var machines []*ComposedEditMachine
+	for {
+		cm, err := ta.Compose(ta.baseK)
+		if err != nil {
+			break
+		}
+		machines = append(machines, cm)
+	}
+	if len(machines) == 0 {
+		t.Fatal("no composition succeeded on a fresh die")
+	}
+	free := ta.FreeTriangles()
+	// A spanning engine needs tiles the single-K machines hold; the
+	// failure must roll back whatever it had already claimed.
+	if _, err := ta.Compose(2*ta.baseK + 1); err == nil {
+		t.Fatal("composition on an exhausted die succeeded")
+	}
+	if got := ta.FreeTriangles(); got != free {
+		t.Fatalf("failed Compose leaked tiles: free %d -> %d", free, got)
+	}
+	for _, cm := range machines {
+		ta.Release(cm)
+	}
+	machines = machines[:0]
+	// Reserve a tile late in a spanning composition's claim order, so the
+	// failing Compose has made real progress before it hits the conflict
+	// — the mid-allocation rollback, not the trivial first-tile one.
+	ta.used[TileID{1, 0, Forward}] = true
+	free = ta.FreeTriangles()
+	if _, err := ta.Compose(ta.MaxK()); err == nil {
+		t.Fatal("composition over a reserved tile succeeded")
+	}
+	if got := ta.FreeTriangles(); got != free {
+		t.Fatalf("mid-allocation failure leaked tiles: free %d -> %d", free, got)
+	}
+	delete(ta.used, TileID{1, 0, Forward})
+	cm, err := ta.Compose(ta.baseK)
+	if err != nil {
+		t.Fatalf("compose after rollback: %v", err)
+	}
+	machines = append(machines, cm)
+	for _, cm := range machines {
+		ta.Release(cm)
+	}
+	if got := ta.FreeTriangles(); got != ta.NumTriangles() {
+		t.Fatalf("release returned %d of %d triangles", got, ta.NumTriangles())
+	}
+	// The whole die composes again: exhaustion and failure left no residue.
+	if _, err := ta.Compose(ta.MaxK()); err != nil {
+		t.Fatalf("max-K composition after full release: %v", err)
+	}
+}

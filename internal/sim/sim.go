@@ -199,6 +199,101 @@ func Simulate(r *rand.Rand, donor *Donor, p ReadProfile) []Read {
 	return reads
 }
 
+// LongReadProfile configures long-read simulation (PacBio/ONT-style:
+// kilobase fragments, error rates an order of magnitude above Illumina,
+// indel-dominated error spectra).
+type LongReadProfile struct {
+	// MeanLength is the target mean read length; individual reads are
+	// drawn uniformly from [MeanLength/2, 3*MeanLength/2).
+	MeanLength int
+	// MinLength floors the draw (default MeanLength/2).
+	MinLength int
+	Coverage  float64 // mean coverage depth
+	ErrorRate float64 // per-base sequencing error (~10% on older chemistry)
+	// IndelErrorFrac is the fraction of errors that are single-base
+	// indels; long-read platforms are indel-dominated (~0.7).
+	IndelErrorFrac float64
+	// ReverseFraction of reads are drawn from the reverse strand (0.5).
+	ReverseFraction float64
+}
+
+// DefaultLongReadProfile is a nanopore-like shape scaled to fit the
+// synthetic genomes the benches use.
+func DefaultLongReadProfile() LongReadProfile {
+	return LongReadProfile{MeanLength: 10000, Coverage: 2, ErrorRate: 0.1, IndelErrorFrac: 0.7, ReverseFraction: 0.5}
+}
+
+// SimulateLong draws variable-length long reads from the donor. The error
+// loop is the Illumina model's, applied per base over kilobase spans with
+// a proportional margin, so indel-heavy reads still come out full length.
+func SimulateLong(r *rand.Rand, donor *Donor, p LongReadProfile) []Read {
+	if p.MeanLength <= 0 {
+		return nil
+	}
+	minLen := p.MinLength
+	if minLen <= 0 {
+		minLen = p.MeanLength / 2
+		if minLen < 1 {
+			minLen = 1
+		}
+	}
+	if len(donor.Seq) < minLen {
+		return nil
+	}
+	n := int(p.Coverage * float64(len(donor.Seq)) / float64(p.MeanLength))
+	reads := make([]Read, 0, n)
+	for i := 0; i < n; i++ {
+		length := minLen + r.Intn(p.MeanLength+1)
+		if length > len(donor.Seq) {
+			length = len(donor.Seq)
+		}
+		// Margin proportional to the expected deletion-error count, so a
+		// read drawn near the donor end still fills without random pad.
+		margin := int(float64(length)*p.ErrorRate*p.IndelErrorFrac) + 8
+		if length+margin > len(donor.Seq) {
+			margin = len(donor.Seq) - length
+		}
+		start := r.Intn(len(donor.Seq) - length - margin + 1)
+		src := donor.Seq[start : start+length+margin]
+		frag := make(dna.Seq, 0, length)
+		errs := 0
+		for si := 0; len(frag) < length && si < len(src); {
+			if r.Float64() >= p.ErrorRate {
+				frag = append(frag, src[si])
+				si++
+				continue
+			}
+			errs++
+			if margin > 0 && r.Float64() < p.IndelErrorFrac {
+				if r.Intn(2) == 0 {
+					frag = append(frag, dna.Base(r.Intn(dna.NumBases)))
+				} else {
+					si++
+				}
+				continue
+			}
+			frag = append(frag, dna.Base((int(src[si])+1+r.Intn(3))%4))
+			si++
+		}
+		for len(frag) < length { // ran off the margin: pad randomly
+			frag = append(frag, dna.Base(r.Intn(dna.NumBases)))
+		}
+		rd := Read{
+			ID:      fmt.Sprintf("long%06d", i),
+			TruePos: donor.RefPos(start),
+			Errors:  errs,
+		}
+		if r.Float64() < p.ReverseFraction {
+			rd.Seq = frag.RevComp()
+			rd.Reverse = true
+		} else {
+			rd.Seq = frag
+		}
+		reads = append(reads, rd)
+	}
+	return reads
+}
+
 // Workload bundles a complete synthetic experiment input.
 type Workload struct {
 	Ref   dna.Seq
@@ -212,4 +307,13 @@ func NewWorkload(seed int64, genomeLen int, vp VariantProfile, rp ReadProfile) *
 	ref := RandomGenome(r, genomeLen)
 	donor := MakeDonor(r, ref, vp)
 	return &Workload{Ref: ref, Donor: donor, Reads: Simulate(r, donor, rp)}
+}
+
+// NewLongReadWorkload builds a reference, donor and long-read set from
+// one seed.
+func NewLongReadWorkload(seed int64, genomeLen int, vp VariantProfile, lp LongReadProfile) *Workload {
+	r := rand.New(rand.NewSource(seed))
+	ref := RandomGenome(r, genomeLen)
+	donor := MakeDonor(r, ref, vp)
+	return &Workload{Ref: ref, Donor: donor, Reads: SimulateLong(r, donor, lp)}
 }

@@ -162,6 +162,91 @@ func TestSimulateEmptyAndShort(t *testing.T) {
 	}
 }
 
+func TestSimulateLongReads(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ref := RandomGenome(r, 60000)
+	donor := MakeDonor(r, ref, DefaultVariantProfile())
+	lp := LongReadProfile{MeanLength: 2000, Coverage: 4, ErrorRate: 0.1, IndelErrorFrac: 0.7, ReverseFraction: 0.5}
+	reads := SimulateLong(r, donor, lp)
+	wantN := int(4 * float64(len(donor.Seq)) / 2000)
+	if len(reads) != wantN {
+		t.Fatalf("%d reads, want %d", len(reads), wantN)
+	}
+	nRev := 0
+	var totalLen, totalErr int
+	for _, rd := range reads {
+		if len(rd.Seq) < 1000 || len(rd.Seq) > 3000 {
+			t.Fatalf("read length %d outside [MeanLength/2, 3*MeanLength/2]", len(rd.Seq))
+		}
+		if rd.TruePos < 0 || rd.TruePos >= len(ref) {
+			t.Fatalf("TruePos %d out of range", rd.TruePos)
+		}
+		if rd.Reverse {
+			nRev++
+		}
+		totalLen += len(rd.Seq)
+		totalErr += rd.Errors
+	}
+	if mean := float64(totalLen) / float64(len(reads)); mean < 1700 || mean > 2300 {
+		t.Errorf("mean read length %.0f far from 2000", mean)
+	}
+	if rate := float64(totalErr) / float64(totalLen); rate < 0.07 || rate > 0.14 {
+		t.Errorf("observed error rate %.3f far from 0.1", rate)
+	}
+	if nRev < len(reads)/3 || nRev > 2*len(reads)/3 {
+		t.Errorf("reverse fraction %d/%d far from half", nRev, len(reads))
+	}
+}
+
+func TestSimulateLongErrorFree(t *testing.T) {
+	// Error-free forward long reads from a variant-free donor must match
+	// the reference exactly at TruePos.
+	r := rand.New(rand.NewSource(10))
+	ref := RandomGenome(r, 30000)
+	donor := MakeDonor(r, ref, VariantProfile{})
+	reads := SimulateLong(r, donor, LongReadProfile{MeanLength: 1500, Coverage: 1, ErrorRate: 0, ReverseFraction: 0})
+	if len(reads) == 0 {
+		t.Fatal("no reads")
+	}
+	for _, rd := range reads {
+		if !rd.Seq.Equal(ref[rd.TruePos : rd.TruePos+len(rd.Seq)]) {
+			t.Fatalf("read %s does not match reference at TruePos", rd.ID)
+		}
+	}
+}
+
+func TestSimulateLongEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	donor := MakeDonor(r, RandomGenome(r, 200), VariantProfile{})
+	if got := SimulateLong(r, donor, LongReadProfile{MeanLength: 0, Coverage: 5}); got != nil {
+		t.Error("zero mean length produced reads")
+	}
+	if got := SimulateLong(r, donor, LongReadProfile{MeanLength: 2000, MinLength: 500, Coverage: 5}); got != nil {
+		t.Errorf("donor shorter than MinLength produced %d reads", len(got))
+	}
+	// Donor shorter than the drawn span: reads clamp to the donor.
+	reads := SimulateLong(r, donor, LongReadProfile{MeanLength: 300, MinLength: 150, Coverage: 20, ErrorRate: 0.05, IndelErrorFrac: 0.7})
+	for _, rd := range reads {
+		if len(rd.Seq) > 200 {
+			t.Fatalf("read longer than donor: %d", len(rd.Seq))
+		}
+	}
+}
+
+func TestNewLongReadWorkloadDeterministic(t *testing.T) {
+	lp := LongReadProfile{MeanLength: 1200, Coverage: 1, ErrorRate: 0.08, IndelErrorFrac: 0.7}
+	w1 := NewLongReadWorkload(43, 20000, DefaultVariantProfile(), lp)
+	w2 := NewLongReadWorkload(43, 20000, DefaultVariantProfile(), lp)
+	if !w1.Ref.Equal(w2.Ref) || len(w1.Reads) != len(w2.Reads) {
+		t.Fatal("long-read workload not deterministic for equal seeds")
+	}
+	for i := range w1.Reads {
+		if !w1.Reads[i].Seq.Equal(w2.Reads[i].Seq) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+}
+
 func TestNewWorkloadDeterministic(t *testing.T) {
 	w1 := NewWorkload(42, 5000, DefaultVariantProfile(), ReadProfile{Length: 50, Coverage: 2, ErrorRate: 0.01})
 	w2 := NewWorkload(42, 5000, DefaultVariantProfile(), ReadProfile{Length: 50, Coverage: 2, ErrorRate: 0.01})
