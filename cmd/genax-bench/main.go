@@ -67,6 +67,8 @@ func run() int {
 		"run the workload through the per-probe and rolling seed paths plus serial/parallel index builds, print the comparison, and write BENCH_seed.json")
 	compareIndex := flag.Bool("compare-index", false,
 		"align the workload over one v2 index cache through the heap, mapped, and sharded backings, print cold-start/peak-RSS/result-hash rows, and write BENCH_index.json")
+	compareServe := flag.Bool("compare-serve", false,
+		"serve the workload over HTTP through per-request-session, pooled-AlignRead and coalesced modes, print capacity/latency/shedding rows, and write BENCH_serve.json")
 	mmapIdx := flag.Bool("mmap", false,
 		"with -indexcache, map the cache file zero-copy (indexio.OpenMapped) instead of heap-loading it; stale or v1 caches are rewritten in the v2 format first")
 	shards := flag.Int("shards", 0,
@@ -87,7 +89,7 @@ func run() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 && !((*compareEngines || *compareLongread || *compareSeed || *compareIndex) && flag.NArg() == 0) {
+	if flag.NArg() != 1 && !((*compareEngines || *compareLongread || *compareSeed || *compareIndex || *compareServe) && flag.NArg() == 0) {
 		flag.Usage()
 		return 2
 	}
@@ -145,6 +147,11 @@ func run() int {
 			n = 4
 		}
 		if code := runCompareIndex(spec, n); code != 0 {
+			return code
+		}
+	}
+	if *compareServe {
+		if code := runCompareServe(*quick); code != 0 {
 			return code
 		}
 	}
@@ -338,6 +345,55 @@ func runCompareIndex(spec bench.WorkloadSpec, shards int) int {
 	}
 	if !cmp.ColdStartGate {
 		fmt.Fprintf(os.Stderr, "genax-bench: mapped cold start did not beat heap deserialization\n")
+		return 1
+	}
+	return 0
+}
+
+// runCompareServe serves the workload over HTTP in all three serving
+// modes, prints the comparison, writes BENCH_serve.json, and fails when
+// any mode's served results diverge from offline AlignBatch — or, on the
+// full workload, when the coalesced mode's sustained throughput is below
+// bench.ServeSpeedupFloor over the per-request-session baseline, its p99
+// at the shared offered rate is worse than the saturated baseline's, or
+// the overloaded baseline failed to shed with 429 + Retry-After. The
+// -quick variant gates hash identity only: its rate phases are too short
+// to be stable.
+func runCompareServe(quick bool) int {
+	cmp, err := bench.CompareServe(quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-serve: %v\n", err)
+		return 1
+	}
+	fmt.Println(cmp)
+	data, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-serve: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "genax-bench: compare-serve: %v\n", err)
+		return 1
+	}
+	fmt.Println("wrote BENCH_serve.json")
+	if !cmp.HashOK {
+		fmt.Fprintf(os.Stderr, "genax-bench: served results diverge from offline AlignBatch\n")
+		return 1
+	}
+	if quick {
+		return 0
+	}
+	if !cmp.CapacityGate {
+		fmt.Fprintf(os.Stderr, "genax-bench: coalesced capacity %.2fx vs sessions is below the %.2fx floor\n",
+			cmp.SpeedupVsSession, bench.ServeSpeedupFloor)
+		return 1
+	}
+	if !cmp.P99Gate {
+		fmt.Fprintf(os.Stderr, "genax-bench: coalesced p99 is worse than the saturated per-session baseline\n")
+		return 1
+	}
+	if !cmp.ShedGate {
+		fmt.Fprintf(os.Stderr, "genax-bench: overloaded baseline did not shed with 429 + Retry-After\n")
 		return 1
 	}
 	return 0

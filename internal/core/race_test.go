@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-budget tests skip themselves under it because the
+// instrumentation itself allocates, and hammer tests scale their
+// iteration counts down.
+const raceEnabled = true

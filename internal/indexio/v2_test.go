@@ -338,6 +338,46 @@ func TestProbeReasons(t *testing.T) {
 	}
 }
 
+// TestProbeFixtureAndCorruptHeader covers the two probe inputs the serve
+// registry meets in the wild but TestProbeReasons synthesizes: the
+// checked-in v1-era fixture bytes (readable legacy when the geometry
+// matches, a distinct geometry reason when it does not) and a v2 file
+// whose *header* is corrupted — resealed CRC so the magic check itself,
+// not the checksum, must produce the reason the registry logs.
+func TestProbeFixtureAndCorruptHeader(t *testing.T) {
+	ref := fixtureRef()
+	const fixture = "testdata/v1-tiny.gaxi"
+	if reason := Probe(fixture, ref, 5, 800, 64); reason != "" {
+		t.Errorf("checked-in v1 fixture with matching geometry: %q, want usable", reason)
+	}
+	if reason := Probe(fixture, ref, 7, 800, 64); !strings.Contains(reason, "geometry mismatch") {
+		t.Errorf("checked-in v1 fixture with wrong k: %q, want geometry mismatch", reason)
+	}
+
+	r := rand.New(rand.NewSource(26))
+	vref := randSeq(r, 4000)
+	sx := buildIndex(t, vref, 2048, 64, 6)
+	dir := t.TempDir()
+	path := writeV2File(t, dir, sx, vref, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	copy(bad, "XAXI")
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reason := Probe(path, vref, 6, 2048, 64)
+	if !strings.Contains(reason, "bad magic") {
+		t.Errorf("corrupted header: %q, want bad magic", reason)
+	}
+	if strings.Contains(reason, "checksum") {
+		t.Errorf("corrupted-header reason %q blames the checksum; the CRC was resealed", reason)
+	}
+}
+
 // TestShardResidencyProtocol simulates the seed stage's lane discipline —
 // every lane acquires and releases every segment in ascending order behind
 // a barrier — and checks the residency bound, the counters, and that the

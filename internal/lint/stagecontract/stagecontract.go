@@ -24,9 +24,13 @@
 //     the channel (the constructor seeding the credit pool). Anything
 //     else fabricates capacity the bound does not account for.
 //
-// The analyzer runs only over the pipeline package's non-test files:
-// tests legitimately build unbuffered admission channels to exercise
-// backpressure.
+// The same discipline governs genax/internal/serve: the admission queue,
+// waiter channels, and registry build slots are all bounded channels, the
+// dispatcher and build goroutines are WaitGroup-tracked so StartDrain can
+// sequence shutdown, and request hand-offs into the intake queue follow
+// the same ownership rules as window hand-offs. The analyzer therefore
+// runs over both packages' non-test files: tests legitimately build
+// unbuffered admission channels to exercise backpressure.
 package stagecontract
 
 import (
@@ -38,19 +42,25 @@ import (
 	"genax/internal/lint/ssautil"
 )
 
-// Package is the import path the contract applies to.
-const Package = "genax/internal/pipeline"
+// Packages holds the import paths the contract applies to: the staged
+// pipeline itself and the serving layer built on top of it, whose
+// admission queue and dispatcher follow the same bounded-channel /
+// accounted-goroutine discipline (DESIGN.md §14).
+var Packages = map[string]bool{
+	"genax/internal/pipeline": true,
+	"genax/internal/serve":    true,
+}
 
 // Analyzer enforces the bounded-channel / accounted-goroutine /
 // credit-traceable-send contract.
 var Analyzer = &analysis.Analyzer{
 	Name: "stagecontract",
-	Doc:  "enforce bounded channels, accounted goroutines, and credit-traceable sends in internal/pipeline",
+	Doc:  "enforce bounded channels, accounted goroutines, and credit-traceable sends in internal/pipeline and internal/serve",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if strings.TrimSuffix(pass.Pkg.Path(), "_test") != Package {
+	if !Packages[strings.TrimSuffix(pass.Pkg.Path(), "_test")] {
 		return nil, nil
 	}
 	for _, f := range pass.Files {

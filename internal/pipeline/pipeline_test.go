@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -178,6 +179,70 @@ func TestStreamCancel(t *testing.T) {
 	}
 	if stats.Reads != got {
 		t.Errorf("stats.Reads = %d, emitted %d", stats.Reads, got)
+	}
+}
+
+// TestStreamCancelReleasesWorkersAndCredits pins what the serve layer's
+// admission dispatcher depends on: a cancelled AlignStream session tears
+// the whole stage graph down — every lane goroutine exits (no leak across
+// repeated sessions) and every batch credit returns to the free list —
+// and the session's Stats stay mergeable into a long-lived aggregate.
+func TestStreamCancelReleasesWorkersAndCredits(t *testing.T) {
+	p := smallParams()
+	p.Window = 8
+	pl, wl := testPipeline(t, p, 414, 25000, 0.02)
+	reads := workloadReads(wl, 300)
+
+	base := runtime.NumGoroutine()
+	var agg Stats
+	for iter := 0; iter < 5; iter++ {
+		in := make(chan dna.Seq, len(reads))
+		for _, r := range reads {
+			in <- r
+		}
+		close(in)
+		ctx, cancel := context.WithCancel(context.Background())
+		out, stats := pl.AlignStream(ctx, in)
+		got := 0
+		for range out {
+			got++
+			if got == 3 {
+				cancel()
+			}
+		}
+		cancel()
+		if stats.Reads != got {
+			t.Fatalf("iter %d: stats.Reads = %d, emitted %d", iter, stats.Reads, got)
+		}
+		agg.Merge(*stats)
+	}
+	if agg.IndexLookups == 0 {
+		t.Error("merged aggregate has no work counters; Merge lost the session stats")
+	}
+	// The stage goroutines unwind asynchronously after out closes; poll
+	// back to the baseline instead of asserting an instant. Bounded
+	// sleep count rather than a wall-clock deadline: ~5s worst case.
+	for try := 0; runtime.NumGoroutine() > base; try++ {
+		if try >= 1000 {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("stage workers leaked across cancelled sessions: %d goroutines at start, %d now\n%s",
+				base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Credits: after a pool serves a window and shuts down, every batch
+	// credit must be back on the free list — a lane that exited without
+	// returning one would strangle later windows' admission.
+	pool := pl.startPool()
+	w := newWindow()
+	w.reads = reads[:8]
+	w.prepare(pl, false)
+	pool.submit(w)
+	<-w.done
+	pool.shutdown()
+	if len(pool.free) != cap(pool.free) {
+		t.Errorf("batch credits leaked: %d of %d returned", len(pool.free), cap(pool.free))
 	}
 }
 

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sort"
+
+	"genax/internal/core"
+)
+
+// GenomeStats is one genome's slice of the /statsz snapshot: registry
+// residency, admission counters, and the pipeline work counters
+// accumulated across its coalesced flushes.
+type GenomeStats struct {
+	Name       string `json:"name"`
+	State      string `json:"state"` // "cold", "loading", or "ready"
+	Refcnt     int    `json:"refcnt"`
+	CacheBytes int    `json:"cache_bytes"`
+
+	Admitted     int64 `json:"admitted"`
+	Rejected     int64 `json:"rejected"`
+	Expired      int64 `json:"expired"`
+	Completed    int64 `json:"completed"`
+	QueueDepth   int64 `json:"queue_depth"`
+	Batches      int64 `json:"batches"`
+	BatchedReads int64 `json:"batched_reads"`
+	MaxBatch     int64 `json:"max_batch"`
+
+	Pipeline core.Stats `json:"pipeline"`
+}
+
+// RegistryStats aggregates the registry's counters.
+type RegistryStats struct {
+	Hits       int64 `json:"hits"`
+	Loads      int64 `json:"loads"`
+	Rebuilds   int64 `json:"rebuilds"`
+	Evictions  int64 `json:"evictions"`
+	OverBudget int64 `json:"over_budget"`
+}
+
+// Snapshot is the /statsz payload.
+type Snapshot struct {
+	Draining         bool          `json:"draining"`
+	CoalesceWindowUS int64         `json:"coalesce_window_us"`
+	MaxBatchLimit    int           `json:"max_batch_limit"`
+	QueueLimit       int           `json:"queue_limit"`
+	MaxResident      int           `json:"max_resident"`
+	Registry         RegistryStats `json:"registry"`
+	Genomes          []GenomeStats `json:"genomes"`
+}
+
+// Snapshot captures the server's counters at this instant: per-genome
+// admission/coalescing tallies and accumulated pipeline stats, plus the
+// registry's load/eviction history. Safe to call concurrently with
+// serving.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{
+		Draining:         s.draining.Load(),
+		CoalesceWindowUS: s.cfg.CoalesceWindow.Microseconds(),
+		MaxBatchLimit:    s.cfg.MaxBatch,
+		QueueLimit:       s.cfg.QueueLimit,
+		MaxResident:      s.cfg.MaxResident,
+		Registry: RegistryStats{
+			Hits:       s.reg.hits.Load(),
+			Loads:      s.reg.loads.Load(),
+			Rebuilds:   s.reg.rebuilds.Load(),
+			Evictions:  s.reg.evictions.Load(),
+			OverBudget: s.reg.overBudget.Load(),
+		},
+	}
+	for name, b := range s.batchers {
+		gs := GenomeStats{
+			Name:         name,
+			Admitted:     b.admitted.Load(),
+			Rejected:     b.rejected.Load(),
+			Expired:      b.expired.Load(),
+			Completed:    b.completed.Load(),
+			QueueDepth:   b.depth.Load(),
+			Batches:      b.batches.Load(),
+			BatchedReads: b.batched.Load(),
+			MaxBatch:     b.maxBatch.Load(),
+		}
+		b.mu.Lock()
+		gs.Pipeline = b.pstats
+		b.mu.Unlock()
+		s.reg.mu.Lock()
+		if e := s.reg.entries[name]; e != nil {
+			switch e.state {
+			case entryReady:
+				gs.State = "ready"
+			case entryLoading:
+				gs.State = "loading"
+			default:
+				gs.State = "cold"
+			}
+			gs.Refcnt = e.refcnt
+			gs.CacheBytes = e.bytes
+		}
+		s.reg.mu.Unlock()
+		snap.Genomes = append(snap.Genomes, gs)
+	}
+	sort.Slice(snap.Genomes, func(i, j int) bool { return snap.Genomes[i].Name < snap.Genomes[j].Name })
+	return snap
+}
